@@ -1,0 +1,272 @@
+(* Command-line interface to the FFC TE library.
+
+   ffc_cli topo     --network lnet --seed 42
+   ffc_cli solve    --network snet --kc 2 --ke 1 [--objective fairness|mlu]
+   ffc_cli simulate --network lnet --mode ffc --intervals 10 --scale 1.0 *)
+
+open Ffc_net
+open Ffc_core
+module Sim = Ffc_sim
+module Rng = Ffc_util.Rng
+module Table = Ffc_util.Table
+
+let scenario_of_name ?sites name seed =
+  let rng = Rng.create seed in
+  match name with
+  | "lnet" -> Sim.Scenario.lnet_sim ?sites rng
+  | "snet" -> Sim.Scenario.snet rng
+  | _ -> failwith (Printf.sprintf "unknown network %S (use lnet or snet)" name)
+
+(* ------------------------------------------------------------------ *)
+(* topo                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let topo_cmd network seed =
+  let sc = scenario_of_name network seed in
+  Format.printf "%a" Topology.pp sc.Sim.Scenario.input.Te_types.topo;
+  Printf.printf "%d flows, total base demand %.1f Gbps\n"
+    (List.length sc.Sim.Scenario.input.Te_types.flows)
+    (Traffic.total sc.Sim.Scenario.input.Te_types.demands)
+
+(* ------------------------------------------------------------------ *)
+(* solve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let print_alloc (input : Te_types.input) (alloc : Te_types.allocation) =
+  let t = Table.create [ "flow"; "demand"; "granted"; "tunnel allocations" ] in
+  List.iter
+    (fun (f : Flow.t) ->
+      let id = f.Flow.id in
+      Table.add_row t
+        [
+          Printf.sprintf "%s->%s"
+            (Topology.switch_name input.Te_types.topo f.Flow.src)
+            (Topology.switch_name input.Te_types.topo f.Flow.dst);
+          Printf.sprintf "%.2f" input.Te_types.demands.(id);
+          Printf.sprintf "%.2f" alloc.Te_types.bf.(id);
+          String.concat " "
+            (Array.to_list (Array.map (Printf.sprintf "%.2f") alloc.Te_types.af.(id)));
+        ])
+    input.Te_types.flows;
+  Table.print t;
+  Printf.printf "total throughput: %.2f Gbps\n" (Te_types.throughput alloc)
+
+let solve_cmd network seed scale kc ke kv encoding objective =
+  let sc = scenario_of_name network seed in
+  let input = Sim.Scenario.scaled sc scale in
+  let encoding = if encoding = "duality" then `Duality else `Sorting_network in
+  let protection = Te_types.protection ~kc ~ke ~kv () in
+  let prev =
+    match Basic_te.solve input with
+    | Ok a -> a
+    | Error e -> failwith e
+  in
+  let config = Ffc.config ~protection ~encoding () in
+  match objective with
+  | "throughput" -> (
+    match Ffc.solve ~config ~prev input with
+    | Ok r ->
+      print_alloc input r.Ffc.alloc;
+      Printf.printf "LP: %d vars, %d rows; solved in %.0f ms\n" r.Ffc.stats.Ffc.lp_vars
+        r.Ffc.stats.Ffc.lp_rows r.Ffc.stats.Ffc.solve_ms
+    | Error e -> failwith e)
+  | "fairness" -> (
+    match Fairness.solve ~config ~prev input with
+    | Ok (alloc, iters) ->
+      print_alloc input alloc;
+      Printf.printf "max-min fairness: %d alpha-iterations\n" iters
+    | Error e -> failwith e)
+  | "mlu" -> (
+    match Mlu_te.solve ~config ~prev input with
+    | Ok r ->
+      print_alloc input r.Mlu_te.alloc;
+      Printf.printf "MLU: %.3f%s\n" r.Mlu_te.mlu
+        (match r.Mlu_te.fault_mlu with
+        | Some uf -> Printf.sprintf " (fault-case MLU: %.3f)" uf
+        | None -> "")
+    | Error e -> failwith e)
+  | other -> failwith (Printf.sprintf "unknown objective %S" other)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd network seed scale mode intervals model kc ke kv =
+  let sc = scenario_of_name network seed in
+  let input = sc.Sim.Scenario.input in
+  let um =
+    if model = "optimistic" then Sim.Update_model.optimistic () else Sim.Update_model.realistic ()
+  in
+  let mode =
+    match mode with
+    | "reactive" -> Sim.Interval_sim.Reactive
+    | "ffc" ->
+      Sim.Interval_sim.Proactive
+        (fun _ ->
+          Ffc.config ~protection:(Te_types.protection ~kc ~ke ~kv ()) ~encoding:`Duality ())
+    | other -> failwith (Printf.sprintf "unknown mode %S (reactive or ffc)" other)
+  in
+  let fm = Sim.Fault_model.lnet_like input.Te_types.topo in
+  let cfg = Sim.Interval_sim.default_config ~mode ~update_model:um fm in
+  let series = Sim.Scenario.demand_series (Rng.create (seed + 1)) sc ~scale ~intervals in
+  let stats = Sim.Interval_sim.run ~rng:(Rng.create (seed + 2)) cfg input ~demand_series:series in
+  let t =
+    Table.create
+      [ "interval"; "delivered (Gb)"; "lost (Gb)"; "max oversub (%)"; "data faults"; "ctrl faults" ]
+  in
+  List.iteri
+    (fun i s ->
+      Table.add_row t
+        [
+          string_of_int i;
+          Printf.sprintf "%.1f" (Sim.Interval_sim.total_delivered s);
+          Printf.sprintf "%.3f" (Sim.Interval_sim.total_lost s);
+          Printf.sprintf "%.1f" s.Sim.Interval_sim.max_oversub_pct;
+          string_of_int s.Sim.Interval_sim.data_faults;
+          string_of_int s.Sim.Interval_sim.control_faults;
+        ])
+    stats;
+  Table.print t;
+  Printf.printf "totals: delivered %.1f Gb, lost %.3f Gb\n"
+    (List.fold_left (fun a s -> a +. Sim.Interval_sim.total_delivered s) 0. stats)
+    (List.fold_left (fun a s -> a +. Sim.Interval_sim.total_lost s) 0. stats)
+
+(* ------------------------------------------------------------------ *)
+(* plan (capacity planning, §3.3)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let plan_cmd network seed scale kc ke kv =
+  let sc = scenario_of_name network seed in
+  let input = Sim.Scenario.scaled sc scale in
+  let prev = match Basic_te.solve input with Ok a -> a | Error e -> failwith e in
+  let config =
+    Ffc.config
+      ~protection:(Te_types.protection ~kc ~ke ~kv ())
+      ~encoding:`Duality ~mice_fraction:0. ~ingress_skip_fraction:0. ()
+  in
+  match Capacity_plan.solve ~config ~prev input with
+  | Error e -> failwith e
+  | Ok r ->
+    let topo = input.Te_types.topo in
+    let t = Table.create [ "link"; "current (G)"; "required (G)" ] in
+    Array.iter
+      (fun (l : Topology.link) ->
+        let req = r.Capacity_plan.capacities.(l.Topology.id) in
+        if req > 1e-6 then
+          Table.add_row t
+            [
+              Printf.sprintf "%s->%s"
+                (Topology.switch_name topo l.Topology.src)
+                (Topology.switch_name topo l.Topology.dst);
+              Printf.sprintf "%.1f" l.Topology.capacity;
+              Printf.sprintf "%.1f" req;
+            ])
+      (Topology.links topo);
+    Table.print t;
+    Printf.printf "total required capacity: %.1f G (provisioning factor %.2f over unprotected)\n"
+      r.Capacity_plan.total_capacity
+      (Capacity_plan.provisioning_factor input r)
+
+(* ------------------------------------------------------------------ *)
+(* verify (exhaustive fault-case checking)                             *)
+(* ------------------------------------------------------------------ *)
+
+let verify_cmd network seed sites scale kc ke kv rescale_aware =
+  if sites > 10 then
+    Printf.printf "note: exhaustive verification is exponential; consider --sites <= 10\n";
+  let sc = scenario_of_name ~sites network seed in
+  let input = Sim.Scenario.scaled sc scale in
+  let prev = match Basic_te.solve input with Ok a -> a | Error e -> failwith e in
+  let protection = Te_types.protection ~kc ~ke ~kv () in
+  let config =
+    Ffc.config ~protection ~rescale_aware ~mice_fraction:0. ~ingress_skip_fraction:0. ()
+  in
+  match Ffc.solve ~config ~prev input with
+  | Error e -> failwith e
+  | Ok r ->
+    let report name = function
+      | Ok () -> Printf.printf "%-28s PASS\n" name
+      | Error e -> Printf.printf "%-28s FAIL: %s\n" name e
+    in
+    Printf.printf "FFC %s solved: %.1f Gbps granted\n"
+      (Format.asprintf "%a" Te_types.pp_protection protection)
+      (Te_types.throughput r.Ffc.alloc);
+    if ke > 0 || kv > 0 then
+      report "data-plane (exhaustive)" (Enumerate.verify_data_plane input r.Ffc.alloc ~ke ~kv);
+    if kc > 0 then
+      report "control-plane (exhaustive)"
+        (Enumerate.verify_control_plane input ~old_alloc:prev ~new_alloc:r.Ffc.alloc ~kc);
+    if kc > 0 && (ke > 0 || kv > 0) then
+      report "combined (exhaustive)"
+        (Enumerate.verify_combined input ~old_alloc:prev ~new_alloc:r.Ffc.alloc ~protection)
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let network = Arg.(value & opt string "lnet" & info [ "network"; "n" ] ~doc:"lnet or snet")
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed")
+let scale = Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Traffic scale (0.5/1/2)")
+let kc = Arg.(value & opt int 0 & info [ "kc" ] ~doc:"Config-fault protection level")
+let ke = Arg.(value & opt int 0 & info [ "ke" ] ~doc:"Link-failure protection level")
+let kv = Arg.(value & opt int 0 & info [ "kv" ] ~doc:"Switch-failure protection level")
+
+let encoding =
+  Arg.(
+    value & opt string "sorting-network"
+    & info [ "encoding" ] ~doc:"Bounded M-sum encoding: sorting-network or duality")
+
+let objective =
+  Arg.(
+    value & opt string "throughput"
+    & info [ "objective" ] ~doc:"throughput, fairness or mlu")
+
+let topo_t = Term.(const topo_cmd $ network $ seed)
+
+let solve_t =
+  Term.(const solve_cmd $ network $ seed $ scale $ kc $ ke $ kv $ encoding $ objective)
+
+let mode = Arg.(value & opt string "ffc" & info [ "mode" ] ~doc:"ffc or reactive")
+let intervals = Arg.(value & opt int 10 & info [ "intervals" ] ~doc:"Number of 5-min intervals")
+
+let model =
+  Arg.(value & opt string "realistic" & info [ "model" ] ~doc:"Switch model: realistic or optimistic")
+
+let kc_sim = Arg.(value & opt int 2 & info [ "kc" ] ~doc:"Config-fault protection")
+let ke_sim = Arg.(value & opt int 1 & info [ "ke" ] ~doc:"Link-failure protection")
+let kv_sim = Arg.(value & opt int 0 & info [ "kv" ] ~doc:"Switch-failure protection")
+
+let simulate_t =
+  Term.(
+    const simulate_cmd $ network $ seed $ scale $ mode $ intervals $ model $ kc_sim $ ke_sim
+    $ kv_sim)
+
+let plan_t = Term.(const plan_cmd $ network $ seed $ scale $ kc $ ke $ kv)
+
+let sites = Arg.(value & opt int 7 & info [ "sites" ] ~doc:"L-Net size for verification")
+
+let rescale_aware =
+  Arg.(value & flag & info [ "rescale-aware" ] ~doc:"Use the combined-fault-sound beta bound")
+
+let verify_t =
+  Term.(const verify_cmd $ network $ seed $ sites $ scale $ kc $ ke $ kv $ rescale_aware)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "topo" ~doc:"Print a generated network") topo_t;
+    Cmd.v (Cmd.info "solve" ~doc:"Compute an FFC TE allocation") solve_t;
+    Cmd.v (Cmd.info "simulate" ~doc:"Run the TE-interval fault simulation") simulate_t;
+    Cmd.v
+      (Cmd.info "plan" ~doc:"Compute the link capacities a protection level requires (§3.3)")
+      plan_t;
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:"Solve FFC and exhaustively verify the guarantee on a small network")
+      verify_t;
+  ]
+
+let () =
+  let info = Cmd.info "ffc_cli" ~doc:"Forward fault correction traffic engineering" in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/congestion_free_update.ml: Array Basic_te Ffc Ffc_core Ffc_sim Ffc_util Printf Result Te_types Update_plan

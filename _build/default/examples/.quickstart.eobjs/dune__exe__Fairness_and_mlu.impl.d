@@ -1,0 +1,1 @@
+examples/fairness_and_mlu.ml: Array Basic_te Demand_robust Fairness Ffc Ffc_core Ffc_net Ffc_sim Ffc_util List Mlu_te Option Printf Te_types

@@ -1,0 +1,1 @@
+examples/fairness_and_mlu.mli:

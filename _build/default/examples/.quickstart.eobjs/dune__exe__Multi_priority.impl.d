@@ -1,0 +1,1 @@
+examples/multi_priority.ml: Array Ffc Ffc_core Ffc_net Ffc_sim Ffc_util Format List Printf Priority_te Te_types

@@ -1,0 +1,1 @@
+examples/paper_examples.ml: Array Basic_te Enumerate Fairness Ffc Ffc_core Ffc_net Flow Format List Option Printf Rescale Result String Te_types Topo_gen Topology Tunnel

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Basic_te Enumerate Ffc Ffc_core Ffc_net Flow Option Printf Rescale Result Te_types Topology Tunnel

@@ -1,0 +1,1 @@
+examples/testbed.ml: Array Enumerate Ffc Ffc_core Ffc_net Ffc_sim Ffc_util Flow Format List Option Printf Rescale Result String Te_types Topo_gen Topology Tunnel

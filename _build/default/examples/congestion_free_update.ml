@@ -1,0 +1,69 @@
+(* Congestion-free multi-step updates (§5.2/§8.5): plan a transition between
+   two TE configurations such that no transient switch-ordering can congest
+   a link, then compare how long the update takes with and without FFC's
+   tolerance of stuck switches.
+
+   Run with:  dune exec examples/congestion_free_update.exe *)
+
+open Ffc_core
+module Sim = Ffc_sim
+module Rng = Ffc_util.Rng
+module Stats = Ffc_util.Stats
+
+let () =
+  let sc = Sim.Scenario.lnet_sim ~sites:10 ~nflows:12 (Rng.create 9) in
+  let input = sc.Sim.Scenario.input in
+  (* Two consecutive demand snapshots produce two different targets; run the
+     network below full utilisation so congestion-free transitions have the
+     headroom they need. *)
+  let series = Sim.Scenario.demand_series (Rng.create 10) sc ~scale:0.7 ~intervals:2 in
+  let solve demands =
+    Result.get_ok (Basic_te.solve { input with Te_types.demands })
+  in
+  let from_ = solve series.(0) and to_ = solve series.(1) in
+  Printf.printf "planning update: %.1f Gbps -> %.1f Gbps total\n"
+    (Te_types.throughput from_) (Te_types.throughput to_);
+  Printf.printf "direct one-shot transition safe under arbitrary ordering: %b\n"
+    (Update_plan.transition_safe input from_ to_);
+  let config = Ffc.config ~protection:(Te_types.protection ~kc:2 ()) ~encoding:`Duality () in
+  let rec try_plan steps =
+    if steps > 4 then Printf.printf "no plan found with up to 4 steps\n"
+    else
+      match Update_plan.plan ~config ~steps input ~from_ ~to_ with
+      | Error e ->
+        Printf.printf "%d-step plan: %s\n" steps e;
+        try_plan (steps + 1)
+      | Ok plan ->
+        Printf.printf "%d-step FFC plan found (%d intermediate configuration%s)\n" steps
+          (steps - 1)
+          (if steps = 2 then "" else "s");
+        let chain = (from_ :: plan.Update_plan.steps) @ [ to_ ] in
+        let rec check = function
+          | a :: (b :: _ as rest) ->
+            Printf.printf "  transition safe: %b (carrying %.1f -> %.1f Gbps)\n"
+              (Update_plan.transition_safe input a b)
+              (Te_types.throughput a) (Te_types.throughput b);
+            check rest
+          | _ -> ()
+        in
+        check chain;
+        let guaranteed = Array.fold_left ( +. ) 0. plan.Update_plan.min_rate in
+        Printf.printf "  every flow keeps >= min(old, new): %.1f Gbps guaranteed throughout\n"
+          guaranteed
+  in
+  try_plan 2;
+  (* How fast do the two modes complete the update under realistic switch
+     behaviour? (Figure 16's experiment, on this plan's shape.) *)
+  let um = Sim.Update_model.realistic () in
+  let times kc =
+    Sim.Update_sim.sample_completions (Rng.create 11)
+      { Sim.Update_sim.steps = 2; switches_per_step = 10; kc; update_model = um; max_time_s = 300. }
+      ~count:500
+  in
+  let report name ts =
+    Printf.printf "%s: median %.1f s, p99 %.1f s, stalled %.1f%%\n" name
+      (Stats.percentile 50. ts) (Stats.percentile 99. ts)
+      (100. *. Stats.fraction_above 299. ts)
+  in
+  report "update completion without FFC" (times 0);
+  report "update completion with FFC kc=2" (times 2)

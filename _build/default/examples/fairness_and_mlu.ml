@@ -1,0 +1,85 @@
+(* Alternative TE objectives under FFC (§5.3/§5.4), plus the paper's §9
+   closing suggestion:
+
+   - approximate max-min fairness (SWAN's alpha-iteration) with FFC
+     constraints in every iteration;
+   - ISP-style TE without rate control: minimise the maximum link
+     utilisation while carrying the full offered demand, with and without
+     control-plane protection;
+   - demand uncertainty through the same bounded M-sum machinery: a
+     guaranteed utilisation as long as at most Gamma flows burst to peak.
+
+   Run with:  dune exec examples/fairness_and_mlu.exe *)
+
+open Ffc_core
+module Sim = Ffc_sim
+module Rng = Ffc_util.Rng
+module Stats = Ffc_util.Stats
+
+let () =
+  let sc = Sim.Scenario.lnet_sim ~sites:10 ~nflows:12 (Rng.create 17) in
+  let input = sc.Sim.Scenario.input in
+  let config =
+    Ffc.config ~protection:(Te_types.protection ~ke:1 ()) ~encoding:`Duality ()
+  in
+
+  (* Throughput-optimal FFC can starve small flows; max-min fairness cannot. *)
+  (match Ffc.solve ~config input with
+  | Error e -> prerr_endline e
+  | Ok r ->
+    let shares =
+      List.map
+        (fun (f : Ffc_net.Flow.t) ->
+          let id = f.Ffc_net.Flow.id in
+          r.Ffc.alloc.Te_types.bf.(id) /. max 1e-9 input.Te_types.demands.(id))
+        input.Te_types.flows
+    in
+    Printf.printf "max-throughput FFC: total %.1f Gbps, worst demand share %.0f%%\n"
+      (Te_types.throughput r.Ffc.alloc)
+      (100. *. Stats.minimum shares));
+  (match Fairness.solve ~config input with
+  | Error e -> prerr_endline e
+  | Ok (alloc, iters) ->
+    let shares =
+      List.map
+        (fun (f : Ffc_net.Flow.t) ->
+          let id = f.Ffc_net.Flow.id in
+          alloc.Te_types.bf.(id) /. max 1e-9 input.Te_types.demands.(id))
+        input.Te_types.flows
+    in
+    Printf.printf "max-min fair FFC  : total %.1f Gbps, worst demand share %.0f%% (%d iterations)\n"
+      (Te_types.throughput alloc)
+      (100. *. Stats.minimum shares)
+      iters);
+
+  (* MLU objective: the network must carry everything; FFC trades a little
+     normal-case utilisation for bounded utilisation under faults. *)
+  let demands = Ffc_net.Traffic.scale 0.7 input.Te_types.demands in
+  let input = { input with Te_types.demands } in
+  let prev =
+    match Basic_te.solve input with Ok a -> a | Error e -> failwith e
+  in
+  (match Mlu_te.solve ~config:(Ffc.config ()) input with
+  | Error e -> prerr_endline e
+  | Ok r -> Printf.printf "\nMLU without FFC          : u = %.3f\n" r.Mlu_te.mlu);
+  match
+    Mlu_te.solve
+      ~config:(Ffc.config ~protection:(Te_types.protection ~kc:2 ()) ~encoding:`Duality ())
+      ~prev ~sigma:1.0 input
+  with
+  | Error e -> prerr_endline e
+  | Ok r ->
+    Printf.printf "MLU with control FFC kc=2: u = %.3f, fault-case u = %.3f\n" r.Mlu_te.mlu
+      (Option.value ~default:nan r.Mlu_te.fault_mlu);
+    (* Demand uncertainty: nominal demands may burst to 1.5x peak; how much
+       utilisation must we guarantee if at most Gamma flows burst at once? *)
+    let peaks = Array.map (fun d -> 1.5 *. d) input.Te_types.demands in
+    Printf.printf "\ndemand uncertainty (peaks = 1.5x nominal):\n";
+    List.iter
+      (fun gamma ->
+        match Demand_robust.solve ~peaks ~gamma input with
+        | Ok r ->
+          Printf.printf "  gamma = %d simultaneous bursts: guaranteed MLU %.3f\n" gamma
+            r.Demand_robust.mlu
+        | Error e -> prerr_endline e)
+      [ 0; 1; 2; 4 ]

@@ -1,0 +1,1 @@
+lib/core/basic_te.ml: Ffc_lp Formulation Model Te_types

@@ -1,0 +1,1 @@
+lib/core/basic_te.mli: Ffc_lp Te_types

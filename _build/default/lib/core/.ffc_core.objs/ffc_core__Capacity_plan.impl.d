@@ -1,0 +1,1 @@
+lib/core/capacity_plan.ml: Array Expr Ffc Ffc_lp Ffc_net Formulation List Model Printf Sys Te_types Topology

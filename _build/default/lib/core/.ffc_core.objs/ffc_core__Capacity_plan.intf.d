@@ -1,0 +1,1 @@
+lib/core/capacity_plan.mli: Ffc Ffc_net Stdlib Te_types

@@ -1,0 +1,1 @@
+lib/core/demand_robust.ml: Array Enumerate Expr Ffc Ffc_lp Ffc_net Ffc_sortnet Flow Formulation Hashtbl List Model Sys Te_types Topology Tunnel

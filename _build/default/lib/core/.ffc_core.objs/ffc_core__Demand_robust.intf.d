@@ -1,0 +1,1 @@
+lib/core/demand_robust.mli: Ffc Stdlib Te_types

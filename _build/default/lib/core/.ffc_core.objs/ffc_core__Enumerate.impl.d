@@ -1,0 +1,1 @@
+lib/core/enumerate.ml: Array Expr Ffc Ffc_lp Ffc_net Flow Formulation List Model Printf Rescale String Sys Te_types Topology Tunnel

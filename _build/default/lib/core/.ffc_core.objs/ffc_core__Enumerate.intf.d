@@ -1,0 +1,1 @@
+lib/core/enumerate.mli: Ffc Ffc_lp Te_types

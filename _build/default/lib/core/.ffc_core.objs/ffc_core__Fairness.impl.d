@@ -1,0 +1,1 @@
+lib/core/fairness.ml: Array Expr Ffc Ffc_lp Ffc_net Flow Formulation List Model Te_types

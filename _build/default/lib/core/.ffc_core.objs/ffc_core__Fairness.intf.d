@@ -1,0 +1,1 @@
+lib/core/fairness.mli: Ffc Te_types

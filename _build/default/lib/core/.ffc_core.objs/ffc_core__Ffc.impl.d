@@ -1,0 +1,1 @@
+lib/core/ffc.ml: Array Expr Ffc_lp Ffc_net Ffc_sortnet Flow Formulation Hashtbl List Model Printf Sys Te_types Topology

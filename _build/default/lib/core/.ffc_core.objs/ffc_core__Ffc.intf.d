@@ -1,0 +1,1 @@
+lib/core/ffc.mli: Ffc_lp Ffc_net Ffc_sortnet Formulation Stdlib Te_types

@@ -1,0 +1,1 @@
+lib/core/formulation.ml: Array Expr Ffc_lp Ffc_net Flow Hashtbl List Model Option Printf Te_types Topology Tunnel

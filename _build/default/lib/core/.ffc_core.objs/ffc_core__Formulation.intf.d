@@ -1,0 +1,1 @@
+lib/core/formulation.mli: Expr Ffc_lp Ffc_net Flow Model Te_types Topology Tunnel

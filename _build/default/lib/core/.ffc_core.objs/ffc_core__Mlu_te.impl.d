@@ -1,0 +1,1 @@
+lib/core/mlu_te.ml: Array Expr Ffc Ffc_lp Ffc_net Formulation Model Option Sys Te_types Topology

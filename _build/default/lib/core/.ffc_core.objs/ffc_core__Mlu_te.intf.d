@@ -1,0 +1,1 @@
+lib/core/mlu_te.mli: Ffc Stdlib Te_types

@@ -1,0 +1,1 @@
+lib/core/priority_te.ml: Array Ffc Ffc_net Flow List Printf Te_types Topology

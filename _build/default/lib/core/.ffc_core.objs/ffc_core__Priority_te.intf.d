@@ -1,0 +1,1 @@
+lib/core/priority_te.mli: Ffc Te_types

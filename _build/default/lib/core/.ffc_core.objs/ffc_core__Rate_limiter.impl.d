@@ -1,0 +1,1 @@
+lib/core/rate_limiter.ml: Array Expr Ffc Ffc_lp Ffc_net Ffc_sortnet Flow Formulation List Model Printf Sys Te_types Topology

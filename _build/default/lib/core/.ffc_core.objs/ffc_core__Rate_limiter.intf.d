@@ -1,0 +1,1 @@
+lib/core/rate_limiter.mli: Ffc Te_types

@@ -1,0 +1,1 @@
+lib/core/rescale.ml: Array Ffc_net Flow List Te_types Topology Tunnel

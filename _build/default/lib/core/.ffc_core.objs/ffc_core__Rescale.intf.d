@@ -1,0 +1,1 @@
+lib/core/rescale.mli: Ffc_net Te_types Topology

@@ -1,0 +1,1 @@
+lib/core/residual_weights.mli: Ffc_lp Stdlib Te_types

@@ -1,0 +1,1 @@
+lib/core/te_types.ml: Array Ffc_net Flow Format List Topology Tunnel

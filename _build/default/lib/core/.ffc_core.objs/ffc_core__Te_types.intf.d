@@ -1,0 +1,1 @@
+lib/core/te_types.mli: Ffc_net Flow Format Topology

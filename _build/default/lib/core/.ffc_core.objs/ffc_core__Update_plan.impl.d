@@ -1,0 +1,1 @@
+lib/core/update_plan.ml: Array Expr Ffc Ffc_lp Ffc_net Ffc_sortnet Flow Formulation List Model Option Printf Te_types Topology

@@ -1,0 +1,1 @@
+lib/core/update_plan.mli: Ffc Te_types

@@ -1,0 +1,13 @@
+open Ffc_lp
+
+let solve ?backend ?reserved (input : Te_types.input) =
+  let model = Model.create ~name:"basic-te" () in
+  let vars = Formulation.make_vars model input in
+  Formulation.capacity_constraints ?reserved vars input;
+  Formulation.demand_constraints vars input;
+  Model.maximize model (Formulation.total_rate_expr vars);
+  match Model.solve ?backend model with
+  | Model.Optimal sol -> Ok (Formulation.alloc_of_solution vars input sol)
+  | Model.Infeasible -> Error "basic TE: infeasible (unexpected)"
+  | Model.Unbounded -> Error "basic TE: unbounded (unexpected)"
+  | Model.Iteration_limit -> Error "basic TE: iteration limit reached"

@@ -1,0 +1,12 @@
+(** The basic (non-FFC) TE formulation of §4.1: maximise total throughput
+    subject to link capacities and tunnel-sum constraints (Eqns 1-4). *)
+
+val solve :
+  ?backend:Ffc_lp.Model.backend ->
+  ?reserved:float array ->
+  Te_types.input ->
+  (Te_types.allocation, string) result
+(** [reserved] subtracts already-committed capacity per link id (used by the
+    multi-priority cascade). Errors are returned as a human-readable
+    message (infeasibility cannot occur here — zero is always feasible — so
+    an [Error] indicates a solver failure). *)

@@ -1,0 +1,102 @@
+open Ffc_net
+open Ffc_lp
+module Bounded_sum = Ffc_sortnet.Bounded_sum
+
+type result = { alloc : Te_types.allocation; mlu : float; stats : Ffc.stats }
+
+let solve ?(config = Ffc.config ()) ~peaks ~gamma (input : Te_types.input) =
+  List.iter
+    (fun (f : Flow.t) ->
+      let id = f.Flow.id in
+      if peaks.(id) < input.Te_types.demands.(id) -. 1e-9 then
+        invalid_arg "Demand_robust.solve: peak below nominal demand")
+    input.Te_types.flows;
+  let t0 = Sys.time () in
+  let model = Model.create ~name:"demand-robust" () in
+  (* Provision tunnels for the peaks: b_f pinned to dhat_f. *)
+  let peak_input = { input with Te_types.demands = Array.copy peaks } in
+  let vars = Formulation.make_vars ~fixed_demand:true model peak_input in
+  Formulation.demand_constraints vars peak_input;
+  let u = Model.add_var ~name:"robust-mlu" model in
+  let per_link = Formulation.crossings_by_link input in
+  Array.iter
+    (fun (l : Topology.link) ->
+      match per_link.(l.Topology.id) with
+      | [] -> ()
+      | crossings ->
+        (* Group tunnel loads by flow: nominal share + deviation term. *)
+        let by_flow = Hashtbl.create 8 in
+        List.iter
+          (fun (c : Formulation.crossing) ->
+            let id = c.Formulation.flow.Flow.id in
+            let e = Expr.var vars.Formulation.af.(id).(c.Formulation.tidx) in
+            Hashtbl.replace by_flow id
+              (match Hashtbl.find_opt by_flow id with None -> e | Some acc -> Expr.add acc e))
+          crossings;
+        let nominal = ref Expr.zero and deviations = ref [] in
+        Hashtbl.iter
+          (fun id peak_load ->
+            let ratio =
+              if peaks.(id) <= 1e-12 then 1. else input.Te_types.demands.(id) /. peaks.(id)
+            in
+            nominal := Expr.add !nominal (Expr.scale ratio peak_load);
+            if ratio < 1. -. 1e-12 then
+              deviations := Expr.scale (1. -. ratio) peak_load :: !deviations)
+          by_flow;
+        let excess =
+          Bounded_sum.sum_largest ~encoding:config.Ffc.encoding model !deviations gamma
+        in
+        (* nominal + worst gamma deviations <= u * c_e *)
+        Model.ge model
+          (Expr.var ~coeff:l.Topology.capacity u)
+          (Expr.add !nominal excess))
+    (Topology.links input.Te_types.topo);
+  Model.minimize model (Expr.var u);
+  match Model.solve ~backend:config.Ffc.backend model with
+  | Model.Optimal sol ->
+    Ok
+      {
+        alloc = Formulation.alloc_of_solution vars peak_input sol;
+        mlu = Model.value sol u;
+        stats =
+          {
+            Ffc.lp_vars = Model.num_vars model;
+            lp_rows = Model.num_constraints model;
+            solve_ms = (Sys.time () -. t0) *. 1000.;
+          };
+      }
+  | Model.Infeasible -> Error "demand-robust TE: infeasible (unexpected)"
+  | Model.Unbounded -> Error "demand-robust TE: unbounded (unexpected)"
+  | Model.Iteration_limit -> Error "demand-robust TE: iteration limit"
+
+let worst_case_utilisation (input : Te_types.input) ~peaks ~gamma
+    (alloc : Te_types.allocation) =
+  let flow_ids = List.map (fun (f : Flow.t) -> f.Flow.id) input.Te_types.flows in
+  let cases = Enumerate.subsets_upto flow_ids gamma in
+  let worst = ref 0. in
+  List.iter
+    (fun peaked ->
+      let rates f =
+        let w = Te_types.weights alloc f in
+        let d = if List.mem f peaked then peaks.(f) else input.Te_types.demands.(f) in
+        Array.map (fun wi -> wi *. d) w
+      in
+      let loads = Array.make (Topology.num_links input.Te_types.topo) 0. in
+      List.iter
+        (fun (f : Flow.t) ->
+          let r = rates f.Flow.id in
+          List.iteri
+            (fun ti (t : Tunnel.t) ->
+              if r.(ti) > 0. then
+                List.iter
+                  (fun (l : Topology.link) ->
+                    loads.(l.Topology.id) <- loads.(l.Topology.id) +. r.(ti))
+                  t.Tunnel.links)
+            f.Flow.tunnels)
+        input.Te_types.flows;
+      Array.iter
+        (fun (l : Topology.link) ->
+          worst := max !worst (loads.(l.Topology.id) /. l.Topology.capacity))
+        (Topology.links input.Te_types.topo))
+    cases;
+  !worst

@@ -1,0 +1,331 @@
+open Ffc_net
+open Ffc_lp
+
+let subsets_upto items k =
+  let rec go items k =
+    if k = 0 then [ [] ]
+    else
+      match items with
+      | [] -> [ [] ]
+      | x :: tl ->
+        let without = go tl k in
+        let with_x = List.map (fun s -> x :: s) (go tl (k - 1)) in
+        without @ with_x
+  in
+  go items (max 0 k)
+
+let contributing_ingresses (input : Te_types.input) =
+  let per_link = Formulation.crossings_by_link input in
+  Array.map
+    (fun crossings -> List.map fst (Formulation.by_ingress crossings))
+    per_link
+
+let control_constraint_count (input : Te_types.input) ~kc =
+  let per_link = contributing_ingresses input in
+  Array.fold_left
+    (fun acc ingresses ->
+      if ingresses = [] then acc
+      else acc + List.length (subsets_upto ingresses kc) - 1 (* empty case = Eqn 2 *))
+    0 per_link
+
+let flow_fault_universe (f : Flow.t) =
+  let link_ids =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (t : Tunnel.t) -> List.map (fun (l : Topology.link) -> l.Topology.id) t.Tunnel.links)
+         f.Flow.tunnels)
+  in
+  let mids = List.sort_uniq compare (List.concat_map Tunnel.intermediate_switches f.Flow.tunnels) in
+  (link_ids, mids)
+
+let data_constraint_count (input : Te_types.input) ~ke ~kv =
+  List.fold_left
+    (fun acc f ->
+      let links, mids = flow_fault_universe f in
+      acc + (List.length (subsets_upto links ke) * List.length (subsets_upto mids kv)))
+    0 input.Te_types.flows
+
+let solve ?(backend = `Revised) ?(rl_mode = Ffc.Rl_assumed_reliable)
+    ~(protection : Te_types.protection) ?prev ?reserved (input : Te_types.input) =
+  let t0 = Sys.time () in
+  let model = Model.create ~name:"ffc-enumerated" () in
+  let vars = Formulation.make_vars model input in
+  Formulation.capacity_constraints ?reserved vars input;
+  Formulation.demand_constraints vars input;
+  (* Data plane: Eqn 9 for every fault case over each flow's own elements. *)
+  if protection.Te_types.ke > 0 || protection.Te_types.kv > 0 then
+    List.iter
+      (fun (f : Flow.t) ->
+        let id = f.Flow.id in
+        let links, mids = flow_fault_universe f in
+        let link_cases = subsets_upto links protection.Te_types.ke in
+        let switch_cases = subsets_upto mids protection.Te_types.kv in
+        List.iter
+          (fun failed_links ->
+            List.iter
+              (fun failed_switches ->
+                let residual =
+                  List.filteri
+                    (fun _ti (t : Tunnel.t) ->
+                      Tunnel.survives t
+                        ~failed_links:(fun l -> List.mem l failed_links)
+                        ~failed_switches:(fun v -> List.mem v failed_switches))
+                    f.Flow.tunnels
+                in
+                if residual = [] then
+                  Model.le model (Expr.var vars.Formulation.bf.(id)) Expr.zero
+                else begin
+                  let lhs =
+                    Expr.sum
+                      (List.concat
+                         (List.mapi
+                            (fun ti (t : Tunnel.t) ->
+                              if
+                                List.exists
+                                  (fun (r : Tunnel.t) -> r.Tunnel.id = t.Tunnel.id)
+                                  residual
+                              then [ Expr.var vars.Formulation.af.(id).(ti) ]
+                              else [])
+                            f.Flow.tunnels))
+                  in
+                  Model.ge model lhs (Expr.var vars.Formulation.bf.(id))
+                end)
+              switch_cases)
+          link_cases)
+      input.Te_types.flows;
+  (* Control plane: Eqn 5 for every stuck-switch case per link. *)
+  (if protection.Te_types.kc > 0 then
+     match prev with
+     | None -> invalid_arg "Enumerate.solve: kc > 0 requires prev"
+     | Some prev ->
+       let beta = Array.map (Array.map (fun _ -> -1)) vars.Formulation.af in
+       List.iter
+         (fun (f : Flow.t) ->
+           let id = f.Flow.id in
+           let w' = Te_types.weights prev id in
+           Array.iteri
+             (fun ti a ->
+               let b = Model.add_var model in
+               beta.(id).(ti) <- b;
+               Model.ge model (Expr.var b) (Expr.var a);
+               Model.ge model (Expr.var b) (Expr.var ~coeff:w'.(ti) vars.Formulation.bf.(id));
+               match rl_mode with
+               | Ffc.Rl_ordered ->
+                 Model.ge model (Expr.var b) (Expr.const prev.Te_types.af.(id).(ti))
+               | Ffc.Rl_assumed_reliable -> ())
+             vars.Formulation.af.(id))
+         input.Te_types.flows;
+       let per_link = Formulation.crossings_by_link input in
+       Array.iter
+         (fun (l : Topology.link) ->
+           let lid = l.Topology.id in
+           let crossings = per_link.(lid) in
+           if crossings <> [] then begin
+             let cap =
+               l.Topology.capacity -. (match reserved with None -> 0. | Some r -> r.(lid))
+             in
+             let groups = Formulation.by_ingress crossings in
+             let cases = subsets_upto (List.map fst groups) protection.Te_types.kc in
+             List.iter
+               (fun stuck ->
+                 if stuck <> [] then begin
+                   let lhs =
+                     Expr.sum
+                       (List.map
+                          (fun (v, cs) ->
+                            Expr.sum
+                              (List.map
+                                 (fun (c : Formulation.crossing) ->
+                                   let id = c.Formulation.flow.Flow.id in
+                                   let ti = c.Formulation.tidx in
+                                   if List.mem v stuck then Expr.var beta.(id).(ti)
+                                   else Expr.var vars.Formulation.af.(id).(ti))
+                                 cs))
+                          groups)
+                   in
+                   Model.le model lhs (Expr.const (max 0. cap))
+                 end)
+               cases
+           end)
+         (Topology.links input.Te_types.topo));
+  Model.maximize model (Formulation.total_rate_expr vars);
+  match Model.solve ~backend model with
+  | Model.Optimal sol ->
+    Ok
+      {
+        Ffc.alloc = Formulation.alloc_of_solution vars input sol;
+        stats =
+          {
+            Ffc.lp_vars = Model.num_vars model;
+            lp_rows = Model.num_constraints model;
+            solve_ms = (Sys.time () -. t0) *. 1000.;
+          };
+      }
+  | Model.Infeasible -> Error "enumerated FFC: infeasible"
+  | Model.Unbounded -> Error "enumerated FFC: unbounded"
+  | Model.Iteration_limit -> Error "enumerated FFC: iteration limit"
+
+(* ------------------------------------------------------------------ *)
+(* Verification                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let tol = 1e-6
+
+let check_loads (input : Te_types.input) loads ~context =
+  let bad = ref None in
+  Array.iter
+    (fun (l : Topology.link) ->
+      if !bad = None && loads.(l.Topology.id) > l.Topology.capacity +. tol then
+        bad :=
+          Some
+            (Printf.sprintf "%s: link %s->%s overloaded: %.6f > %.6f" context
+               (Topology.switch_name input.Te_types.topo l.Topology.src)
+               (Topology.switch_name input.Te_types.topo l.Topology.dst)
+               loads.(l.Topology.id) l.Topology.capacity))
+    (Topology.links input.Te_types.topo);
+  match !bad with None -> Ok () | Some msg -> Error msg
+
+let rescaled_loads (input : Te_types.input) (alloc : Te_types.allocation) ~failed_links
+    ~failed_switches =
+  let rates = Rescale.rescale input alloc ~failed_links ~failed_switches () in
+  let loads = Rescale.loads input rates.Rescale.tunnel_rates in
+  (* Eqn 9 demands the residual tunnels hold the allocated rate; a
+     positive-rate flow with no usable residual tunnel violates the
+     guarantee (a blackhole rather than congestion) — except when its own
+     endpoint switch failed, which the guarantee excludes. *)
+  let blackholed = ref [] in
+  List.iter
+    (fun (f : Flow.t) ->
+      if
+        rates.Rescale.undeliverable.(f.Flow.id) > tol
+        && (not (failed_switches f.Flow.src))
+        && not (failed_switches f.Flow.dst)
+      then blackholed := f.Flow.id :: !blackholed)
+    input.Te_types.flows;
+  (loads, !blackholed)
+
+let verify_data_plane (input : Te_types.input) alloc ~ke ~kv =
+  let all_links =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (f : Flow.t) ->
+           List.concat_map
+             (fun (t : Tunnel.t) -> List.map (fun (l : Topology.link) -> l.Topology.id) t.Tunnel.links)
+             f.Flow.tunnels)
+         input.Te_types.flows)
+  in
+  let all_switches = Topology.switches input.Te_types.topo in
+  let link_cases = subsets_upto all_links ke in
+  let switch_cases = subsets_upto all_switches kv in
+  let rec check_cases = function
+    | [] -> Ok ()
+    | (fl, fs) :: rest -> (
+      let loads, blackholed =
+        rescaled_loads input alloc
+          ~failed_links:(fun l -> List.mem l fl)
+          ~failed_switches:(fun v -> List.mem v fs)
+      in
+      let context =
+        Printf.sprintf "links=[%s] switches=[%s]"
+          (String.concat "," (List.map string_of_int fl))
+          (String.concat "," (List.map string_of_int fs))
+      in
+      match blackholed with
+      | f :: _ -> Error (Printf.sprintf "%s: flow %d blackholed" context f)
+      | [] -> (
+        match check_loads input loads ~context with
+        | Ok () -> check_cases rest
+        | Error _ as e -> e))
+  in
+  check_cases (List.concat_map (fun fl -> List.map (fun fs -> (fl, fs)) switch_cases) link_cases)
+
+(* Load check for a stuck-switch set: stuck ingresses split the new rate by
+   old weights; healthy ones are charged their planned upper bounds
+   [a_{f,t}] (which dominate any split of b_f they may install). *)
+let stuck_loads (input : Te_types.input) ~(old_alloc : Te_types.allocation)
+    ~(new_alloc : Te_types.allocation) ~stuck =
+  let loads = Array.make (Topology.num_links input.Te_types.topo) 0. in
+  List.iter
+    (fun (f : Flow.t) ->
+      let id = f.Flow.id in
+      let rates =
+        if List.mem f.Flow.src stuck then begin
+          let w' = Te_types.weights old_alloc id in
+          Array.map (fun w -> w *. new_alloc.Te_types.bf.(id)) w'
+        end
+        else new_alloc.Te_types.af.(id)
+      in
+      List.iteri
+        (fun ti (t : Tunnel.t) ->
+          let r = rates.(ti) in
+          if r > 0. then
+            List.iter
+              (fun (l : Topology.link) -> loads.(l.Topology.id) <- loads.(l.Topology.id) +. r)
+              t.Tunnel.links)
+        f.Flow.tunnels)
+    input.Te_types.flows;
+  loads
+
+let verify_combined (input : Te_types.input) ~old_alloc ~new_alloc
+    ~(protection : Te_types.protection) =
+  let ingresses =
+    List.sort_uniq compare (List.map (fun (f : Flow.t) -> f.Flow.src) input.Te_types.flows)
+  in
+  let all_links =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (f : Flow.t) ->
+           List.concat_map
+             (fun (t : Tunnel.t) ->
+               List.map (fun (l : Topology.link) -> l.Topology.id) t.Tunnel.links)
+             f.Flow.tunnels)
+         input.Te_types.flows)
+  in
+  let stuck_cases = subsets_upto ingresses protection.Te_types.kc in
+  let link_cases = subsets_upto all_links protection.Te_types.ke in
+  let switch_cases = subsets_upto (Topology.switches input.Te_types.topo) protection.Te_types.kv in
+  let check stuck fl fs =
+    let rates =
+      Rescale.rescale input new_alloc
+        ~stuck:(fun v -> List.mem v stuck)
+        ~old_alloc
+        ~failed_links:(fun l -> List.mem l fl)
+        ~failed_switches:(fun v -> List.mem v fs)
+        ()
+    in
+    let loads = Rescale.loads input rates.Rescale.tunnel_rates in
+    let context =
+      Printf.sprintf "stuck=[%s] links=[%s] switches=[%s]"
+        (String.concat "," (List.map string_of_int stuck))
+        (String.concat "," (List.map string_of_int fl))
+        (String.concat "," (List.map string_of_int fs))
+    in
+    check_loads input loads ~context
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | (stuck, fl, fs) :: rest -> (
+      match check stuck fl fs with Ok () -> go rest | Error _ as e -> e)
+  in
+  go
+    (List.concat_map
+       (fun stuck ->
+         List.concat_map (fun fl -> List.map (fun fs -> (stuck, fl, fs)) switch_cases) link_cases)
+       stuck_cases)
+
+let verify_control_plane (input : Te_types.input) ~old_alloc ~new_alloc ~kc =
+  let ingresses =
+    List.sort_uniq compare (List.map (fun (f : Flow.t) -> f.Flow.src) input.Te_types.flows)
+  in
+  let rec check_cases = function
+    | [] -> Ok ()
+    | stuck :: rest -> (
+      let loads = stuck_loads input ~old_alloc ~new_alloc ~stuck in
+      let context =
+        Printf.sprintf "stuck=[%s]" (String.concat "," (List.map string_of_int stuck))
+      in
+      match check_loads input loads ~context with
+      | Ok () -> check_cases rest
+      | Error _ as e -> e)
+  in
+  check_cases (subsets_upto ingresses kc)

@@ -1,0 +1,264 @@
+open Ffc_net
+open Ffc_lp
+module Bounded_sum = Ffc_sortnet.Bounded_sum
+
+type rl_mode = Rl_assumed_reliable | Rl_ordered
+
+type config = {
+  protection : Te_types.protection;
+  encoding : Bounded_sum.encoding;
+  rl_mode : rl_mode;
+  mice_fraction : float;
+  ingress_skip_fraction : float;
+  rescale_aware : bool;
+  backend : Model.backend;
+}
+
+let config ?(protection = Te_types.no_protection) ?(encoding = `Sorting_network)
+    ?(rl_mode = Rl_assumed_reliable) ?(mice_fraction = 0.01) ?(ingress_skip_fraction = 1e-5)
+    ?(rescale_aware = false) ?(backend = `Revised) () =
+  { protection; encoding; rl_mode; mice_fraction; ingress_skip_fraction; rescale_aware; backend }
+
+type stats = { lp_vars : int; lp_rows : int; solve_ms : float }
+
+type result = { alloc : Te_types.allocation; stats : stats }
+
+(* Flows collectively carrying at most [fraction] of total demand, smallest
+   first (§6 mice optimisation). *)
+let mice_flows (input : Te_types.input) fraction =
+  let total = Array.fold_left ( +. ) 0. input.Te_types.demands in
+  let flows =
+    List.sort
+      (fun (f1 : Flow.t) (f2 : Flow.t) ->
+        compare input.Te_types.demands.(f1.Flow.id) input.Te_types.demands.(f2.Flow.id))
+      input.Te_types.flows
+  in
+  let mice = Hashtbl.create 16 in
+  let budget = ref (fraction *. total) in
+  List.iter
+    (fun (f : Flow.t) ->
+      let d = input.Te_types.demands.(f.Flow.id) in
+      if d <= !budget then begin
+        budget := !budget -. d;
+        Hashtbl.add mice f.Flow.id ()
+      end)
+    flows;
+  mice
+
+(* Data-plane FFC (§4.3/Eqn 15). *)
+let add_data_plane_constraints cfg (vars : Formulation.vars) (input : Te_types.input) =
+  let { Te_types.ke; kv; _ } = cfg.protection in
+  if ke > 0 || kv > 0 then begin
+    let mice = mice_flows input cfg.mice_fraction in
+    List.iter
+      (fun (f : Flow.t) ->
+        let id = f.Flow.id in
+        let tau = Flow.tau f ~ke ~kv in
+        let nt = Flow.num_tunnels f in
+        if tau <= 0 then
+          (* No guaranteed residual tunnel: the flow must be shut (§4.3). *)
+          Model.le vars.Formulation.model (Expr.var vars.Formulation.bf.(id)) Expr.zero
+        else if tau < nt then begin
+          if Hashtbl.mem mice id then
+            (* §6: equal-split a_{f,t} = b_f / tau_f satisfies Eqn 15 without
+               a sorting network. *)
+            Array.iter
+              (fun a ->
+                Model.eq vars.Formulation.model (Expr.var a)
+                  (Expr.var ~coeff:(1. /. float_of_int tau) vars.Formulation.bf.(id)))
+              vars.Formulation.af.(id)
+          else begin
+            let af_exprs = Array.to_list (Array.map Expr.var vars.Formulation.af.(id)) in
+            let worst =
+              Bounded_sum.sum_smallest ~encoding:cfg.encoding vars.Formulation.model af_exprs
+                tau
+            in
+            Model.ge vars.Formulation.model worst (Expr.var vars.Formulation.bf.(id))
+          end
+        end)
+      input.Te_types.flows
+  end
+
+(* Control-plane FFC (§4.2, Eqns 13-14), plus §5.5 ordered-rate-limiter and
+   §5.6 uncertainty extensions. [rhs] gives the right-hand side of each
+   link's safety constraint: the (residual) capacity for the standard
+   formulation, or [uf * c_e] for the §5.4 MLU variant. *)
+let add_control_plane_constraints_gen cfg (vars : Formulation.vars) (input : Te_types.input)
+    ~(prev : Te_types.allocation) ~(prev2 : Te_types.allocation option)
+    ~(uncertain : (int, unit) Hashtbl.t) ~(rhs : Topology.link -> Expr.t) () =
+  let kc = cfg.protection.Te_types.kc in
+  let model = vars.Formulation.model in
+  (* beta_{f,t} variables (Eqn 8 / Eqn 18 / §5.6). *)
+  let beta = Array.map (Array.map (fun _ -> -1)) vars.Formulation.af in
+  List.iter
+    (fun (f : Flow.t) ->
+      let id = f.Flow.id in
+      let w' = Te_types.weights prev id in
+      (* §4.5 gap (see DESIGN.md): a stuck ingress that also loses tunnels
+         rescales its OLD weights, so a surviving tunnel can carry up to
+         w'_t * b_f / (1 - D_f) where D_f is the worst old-weight mass on
+         tunnels that up to (ke p + kv q) data faults can kill. Scaling the
+         w' b_f bound by that constant keeps the formulation linear and
+         makes the combined (kc, ke, kv) guarantee hold simultaneously. *)
+      let amplification =
+        if
+          cfg.rescale_aware
+          && (cfg.protection.Te_types.ke > 0 || cfg.protection.Te_types.kv > 0)
+        then begin
+          let kt =
+            Flow.num_tunnels f
+            - Flow.tau f ~ke:cfg.protection.Te_types.ke ~kv:cfg.protection.Te_types.kv
+          in
+          let dead_mass =
+            Ffc_sortnet.Bounded_sum.value_sum_largest (Array.to_list w') kt
+          in
+          if dead_mass >= 0.999 then None (* any survivor may carry all of b_f *)
+          else Some (1. /. (1. -. dead_mass))
+        end
+        else Some 1.
+      in
+      Array.iteri
+        (fun ti a ->
+          let b = Model.add_var ~name:(Printf.sprintf "beta_f%d_t%d" id ti) model in
+          beta.(id).(ti) <- b;
+          Model.ge model (Expr.var b) (Expr.var a);
+          (match amplification with
+          | Some k ->
+            Model.ge model (Expr.var b)
+              (Expr.var ~coeff:(k *. w'.(ti)) vars.Formulation.bf.(id))
+          | None ->
+            if w'.(ti) > 0. then
+              Model.ge model (Expr.var b) (Expr.var vars.Formulation.bf.(id)));
+          (match cfg.rl_mode with
+          | Rl_ordered -> Model.ge model (Expr.var b) (Expr.const prev.Te_types.af.(id).(ti))
+          | Rl_assumed_reliable -> ());
+          if Hashtbl.mem uncertain id then begin
+            (* Plan for either of the last two configurations. *)
+            Model.ge model (Expr.var b) (Expr.const prev.Te_types.af.(id).(ti));
+            match prev2 with
+            | Some p2 when Array.length p2.Te_types.af.(id) > ti ->
+              Model.ge model (Expr.var b) (Expr.const p2.Te_types.af.(id).(ti))
+            | _ -> ()
+          end)
+        vars.Formulation.af.(id))
+    input.Te_types.flows;
+  (* Old planned load per link, for the §6 skip rule and §4.5 unprotected
+     moves. *)
+  let old_loads = Te_types.link_loads input prev in
+  let per_link = Formulation.crossings_by_link input in
+  Array.iter
+    (fun (l : Topology.link) ->
+      let lid = l.Topology.id in
+      let crossings = per_link.(lid) in
+      if crossings <> [] then begin
+        if old_loads.(lid) > l.Topology.capacity +. 1e-6 then
+          (* §4.5: link already overloaded by the old configuration (e.g.
+             after a fault beyond the protection level): allow unprotected
+             moves, i.e. only the plain capacity constraint applies. *)
+          ()
+        else begin
+          let groups = Formulation.by_ingress crossings in
+          (* §6: ignore ingresses with (near-)zero old load on this link. *)
+          let old_load_of cs =
+            List.fold_left
+              (fun acc (c : Formulation.crossing) ->
+                acc +. prev.Te_types.af.(c.Formulation.flow.Flow.id).(c.Formulation.tidx))
+              0. cs
+          in
+          let considered, _skipped =
+            List.partition
+              (fun (_, cs) -> old_load_of cs > cfg.ingress_skip_fraction *. l.Topology.capacity)
+              groups
+          in
+          let d_exprs =
+            List.map
+              (fun (_, cs) ->
+                Expr.sum
+                  (List.map
+                     (fun (c : Formulation.crossing) ->
+                       let id = c.Formulation.flow.Flow.id and ti = c.Formulation.tidx in
+                       Expr.sub (Expr.var beta.(id).(ti))
+                         (Expr.var vars.Formulation.af.(id).(ti)))
+                     cs))
+              considered
+          in
+          let excess = Bounded_sum.sum_largest ~encoding:cfg.encoding model d_exprs kc in
+          let base_load = Formulation.load_expr vars crossings in
+          Model.le model (Expr.add base_load excess) (rhs l)
+        end
+      end)
+    (Topology.links input.Te_types.topo)
+
+let add_control_plane_constraints cfg vars input ~prev ~prev2 ~uncertain ?reserved () =
+  let rhs (l : Topology.link) =
+    let cap =
+      l.Topology.capacity -. (match reserved with None -> 0. | Some r -> r.(l.Topology.id))
+    in
+    Expr.const (max 0. cap)
+  in
+  add_control_plane_constraints_gen cfg vars input ~prev ~prev2 ~uncertain ~rhs ()
+
+let data_plane_constraints = add_data_plane_constraints
+
+let control_plane_constraints cfg vars input ~prev ?prev2 ?(uncertain_flows = []) ~rhs () =
+  if cfg.protection.Te_types.kc > 0 then begin
+    let uncertain = Hashtbl.create 8 in
+    List.iter (fun id -> Hashtbl.add uncertain id ()) uncertain_flows;
+    add_control_plane_constraints_gen cfg vars input ~prev ~prev2 ~uncertain ~rhs ()
+  end
+
+let build ?(config = config ()) ?prev ?prev2 ?(uncertain_flows = []) ?reserved
+    (input : Te_types.input) =
+  let cfg = config in
+  let model = Model.create ~name:"ffc-te" () in
+  let vars = Formulation.make_vars model input in
+  Formulation.capacity_constraints ?reserved vars input;
+  Formulation.demand_constraints vars input;
+  let uncertain = Hashtbl.create 8 in
+  List.iter (fun id -> Hashtbl.add uncertain id ()) uncertain_flows;
+  (* §5.6: freeze uncertain flows at their last commanded configuration. *)
+  if uncertain_flows <> [] then begin
+    match (prev, prev2) with
+    | Some p, Some _ ->
+      List.iter
+        (fun id ->
+          Model.eq model (Expr.var vars.Formulation.bf.(id)) (Expr.const p.Te_types.bf.(id));
+          Array.iteri
+            (fun ti a -> Model.eq model (Expr.var a) (Expr.const p.Te_types.af.(id).(ti)))
+            vars.Formulation.af.(id))
+        uncertain_flows
+    | _ -> invalid_arg "Ffc.build: uncertain_flows requires both prev and prev2"
+  end;
+  if cfg.protection.Te_types.kc > 0 then begin
+    match prev with
+    | None -> invalid_arg "Ffc.build: control-plane protection (kc > 0) requires prev"
+    | Some prev ->
+      add_control_plane_constraints cfg vars input ~prev ~prev2 ~uncertain ?reserved ()
+  end;
+  add_data_plane_constraints cfg vars input;
+  vars
+
+let solve ?(config = config ()) ?prev ?prev2 ?uncertain_flows ?reserved
+    (input : Te_types.input) =
+  let t0 = Sys.time () in
+  match build ~config ?prev ?prev2 ?uncertain_flows ?reserved input with
+  | exception Invalid_argument msg -> Error msg
+  | vars -> (
+    let model = vars.Formulation.model in
+    Model.maximize model (Formulation.total_rate_expr vars);
+    match Model.solve ~backend:config.backend model with
+    | Model.Optimal sol ->
+      let solve_ms = (Sys.time () -. t0) *. 1000. in
+      Ok
+        {
+          alloc = Formulation.alloc_of_solution vars input sol;
+          stats =
+            {
+              lp_vars = Model.num_vars model;
+              lp_rows = Model.num_constraints model;
+              solve_ms;
+            };
+        }
+    | Model.Infeasible -> Error "FFC TE: infeasible"
+    | Model.Unbounded -> Error "FFC TE: unbounded (unexpected)"
+    | Model.Iteration_limit -> Error "FFC TE: iteration limit reached")

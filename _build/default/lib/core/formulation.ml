@@ -1,0 +1,91 @@
+open Ffc_net
+open Ffc_lp
+
+type vars = {
+  model : Model.t;
+  bf : Model.var array;
+  af : Model.var array array;
+}
+
+let make_vars ?(fixed_demand = false) model (input : Te_types.input) =
+  let n = Array.length input.Te_types.demands in
+  let bf = Array.make n (-1) and af = Array.make n [||] in
+  List.iter
+    (fun (f : Flow.t) ->
+      let id = f.Flow.id in
+      let d = input.Te_types.demands.(id) in
+      let lb = if fixed_demand then d else 0. in
+      bf.(id) <- Model.add_var ~lb ~ub:d ~name:(Printf.sprintf "b_f%d" id) model;
+      af.(id) <-
+        Array.init (Flow.num_tunnels f) (fun ti ->
+            Model.add_var ~name:(Printf.sprintf "a_f%d_t%d" id ti) model))
+    input.Te_types.flows;
+  { model; bf; af }
+
+type crossing = { flow : Flow.t; tidx : int; tunnel : Tunnel.t }
+
+let crossings_by_link (input : Te_types.input) =
+  let per_link = Array.make (Topology.num_links input.Te_types.topo) [] in
+  List.iter
+    (fun (f : Flow.t) ->
+      List.iteri
+        (fun tidx (tn : Tunnel.t) ->
+          List.iter
+            (fun (l : Topology.link) ->
+              per_link.(l.Topology.id) <-
+                { flow = f; tidx; tunnel = tn } :: per_link.(l.Topology.id))
+            tn.Tunnel.links)
+        f.Flow.tunnels)
+    input.Te_types.flows;
+  per_link
+
+let by_ingress crossings =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let v = c.flow.Flow.src in
+      Hashtbl.replace tbl v (c :: Option.value ~default:[] (Hashtbl.find_opt tbl v)))
+    crossings;
+  Hashtbl.fold (fun v cs acc -> (v, cs) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let demand_constraints vars (input : Te_types.input) =
+  List.iter
+    (fun (f : Flow.t) ->
+      let id = f.Flow.id in
+      let lhs = Expr.sum (Array.to_list (Array.map Expr.var vars.af.(id))) in
+      Model.ge vars.model lhs (Expr.var vars.bf.(id)))
+    input.Te_types.flows
+
+let load_expr vars crossings =
+  Expr.sum (List.map (fun c -> Expr.var vars.af.(c.flow.Flow.id).(c.tidx)) crossings)
+
+let capacity_constraints ?reserved vars (input : Te_types.input) =
+  let per_link = crossings_by_link input in
+  Array.iter
+    (fun (l : Topology.link) ->
+      let id = l.Topology.id in
+      match per_link.(id) with
+      | [] -> ()
+      | crossings ->
+        let cap =
+          l.Topology.capacity
+          -. (match reserved with None -> 0. | Some r -> r.(id))
+        in
+        Model.le vars.model (load_expr vars crossings) (Expr.const (max 0. cap)))
+    (Topology.links input.Te_types.topo)
+
+let total_rate_expr vars =
+  Expr.sum (Array.to_list (Array.map (fun v -> if v >= 0 then Expr.var v else Expr.zero) vars.bf))
+
+let alloc_of_solution vars (input : Te_types.input) sol =
+  let n = Array.length input.Te_types.demands in
+  let bf = Array.make n 0. in
+  let af = Array.make n [||] in
+  List.iter
+    (fun (f : Flow.t) ->
+      let id = f.Flow.id in
+      bf.(id) <- max 0. (Model.value sol vars.bf.(id));
+      af.(id) <- Array.map (fun v -> max 0. (Model.value sol v)) vars.af.(id))
+    input.Te_types.flows;
+  { Te_types.bf; af }

@@ -1,0 +1,42 @@
+(** Internal shared scaffolding for the TE linear programs: variable
+    creation, the link/tunnel crossing structure, and the basic constraints
+    (Eqns 2-4 of the paper) reused by every formulation. *)
+
+open Ffc_net
+open Ffc_lp
+
+type vars = {
+  model : Model.t;
+  bf : Model.var array; (* by flow id *)
+  af : Model.var array array; (* by flow id, tunnel position *)
+}
+
+val make_vars : ?fixed_demand:bool -> Model.t -> Te_types.input -> vars
+(** Creates [b_f] in [\[0, d_f\]] and [a_{f,t} >= 0]. With [~fixed_demand]
+    (the §5.4 no-rate-control setting) [b_f] is pinned to [d_f]. *)
+
+type crossing = { flow : Flow.t; tidx : int; tunnel : Tunnel.t }
+(** One (flow, tunnel) pair traversing a given link. *)
+
+val crossings_by_link : Te_types.input -> crossing list array
+(** Indexed by link id: every tunnel crossing that link ([L[t,e] = 1]). *)
+
+val by_ingress : crossing list -> (Topology.switch * crossing list) list
+(** Group crossings by the flow's ingress switch ([S[t,v] = 1]). *)
+
+val demand_constraints : vars -> Te_types.input -> unit
+(** Eqn 3: [sum_t a_{f,t} >= b_f] for every flow. *)
+
+val capacity_constraints : ?reserved:float array -> vars -> Te_types.input -> unit
+(** Eqn 2: per-link [sum a_{f,t} L[t,e] <= c_e - reserved_e]. [reserved]
+    (default all-zero) supports the multi-priority cascade (§5.1). *)
+
+val load_expr : vars -> crossing list -> Expr.t
+(** Sum of [a_{f,t}] over the given crossings. *)
+
+val total_rate_expr : vars -> Expr.t
+(** [sum_f b_f], the Eqn 1 objective. *)
+
+val alloc_of_solution : vars -> Te_types.input -> Model.solution -> Te_types.allocation
+(** Read the solved variables back into an {!Te_types.allocation}; clamps
+    within numerical tolerance to be non-negative. *)

@@ -1,0 +1,64 @@
+open Ffc_net
+open Ffc_lp
+
+type result = {
+  alloc : Te_types.allocation;
+  mlu : float;
+  fault_mlu : float option;
+  stats : Ffc.stats;
+}
+
+let solve ?(config = Ffc.config ()) ?prev ?(sigma = 1.) (input : Te_types.input) =
+  let t0 = Sys.time () in
+  let model = Model.create ~name:"mlu-te" () in
+  let vars = Formulation.make_vars ~fixed_demand:true model input in
+  Formulation.demand_constraints vars input;
+  let u = Model.add_var ~name:"mlu" model in
+  let per_link = Formulation.crossings_by_link input in
+  Array.iter
+    (fun (l : Topology.link) ->
+      match per_link.(l.Topology.id) with
+      | [] -> ()
+      | crossings ->
+        (* u >= load / c_e, i.e. u * c_e - load >= 0. *)
+        Model.ge model
+          (Expr.var ~coeff:l.Topology.capacity u)
+          (Formulation.load_expr vars crossings))
+    (Topology.links input.Te_types.topo);
+  Ffc.data_plane_constraints config vars input;
+  let uf =
+    if config.Ffc.protection.Te_types.kc > 0 then begin
+      match prev with
+      | None -> invalid_arg "Mlu_te.solve: kc > 0 requires prev"
+      | Some prev ->
+        let uf = Model.add_var ~name:"fault-mlu" model in
+        Ffc.control_plane_constraints config vars input ~prev
+          ~rhs:(fun (l : Topology.link) -> Expr.var ~coeff:l.Topology.capacity uf)
+          ();
+        Some uf
+    end
+    else None
+  in
+  let objective =
+    match uf with
+    | None -> Expr.var u
+    | Some uf -> Expr.add (Expr.var u) (Expr.var ~coeff:sigma uf)
+  in
+  Model.minimize model objective;
+  match Model.solve ~backend:config.Ffc.backend model with
+  | Model.Optimal sol ->
+    Ok
+      {
+        alloc = Formulation.alloc_of_solution vars input sol;
+        mlu = Model.value sol u;
+        fault_mlu = Option.map (Model.value sol) uf;
+        stats =
+          {
+            Ffc.lp_vars = Model.num_vars model;
+            lp_rows = Model.num_constraints model;
+            solve_ms = (Sys.time () -. t0) *. 1000.;
+          };
+      }
+  | Model.Infeasible -> Error "MLU TE: infeasible (check tau_f > 0 for all flows)"
+  | Model.Unbounded -> Error "MLU TE: unbounded (unexpected)"
+  | Model.Iteration_limit -> Error "MLU TE: iteration limit"

@@ -1,0 +1,22 @@
+(** TE without flow rate control (§5.4): the network must carry the offered
+    demand ([b_f = d_f]), and the objective is to minimise the maximum link
+    utilisation (MLU), which may exceed 1. With control-plane protection the
+    objective becomes [Theta(u) + sigma * Theta(uf)] where [uf] is the MLU
+    under any [kc]-fault case. *)
+
+type result = {
+  alloc : Te_types.allocation;
+  mlu : float; (* max link utilisation with no faults *)
+  fault_mlu : float option; (* worst-case MLU under protected faults (kc > 0) *)
+  stats : Ffc.stats;
+}
+
+val solve :
+  ?config:Ffc.config ->
+  ?prev:Te_types.allocation ->
+  ?sigma:float ->
+  Te_types.input ->
+  (result, string) Stdlib.result
+(** [sigma] (default 1) weights fault-case MLU against no-fault MLU.
+    Data-plane protection ([ke]/[kv]) applies unchanged: residual tunnels
+    must carry the full demand after rescaling. *)

@@ -1,0 +1,53 @@
+open Ffc_net
+
+let priorities (input : Te_types.input) =
+  List.sort_uniq compare (List.map (fun (f : Flow.t) -> f.Flow.priority) input.Te_types.flows)
+
+let check_monotone config_of classes =
+  let rec go = function
+    | p1 :: (p2 :: _ as rest) ->
+      let a = (config_of p1).Ffc.protection and b = (config_of p2).Ffc.protection in
+      if
+        a.Te_types.kc < b.Te_types.kc || a.Te_types.ke < b.Te_types.ke
+        || a.Te_types.kv < b.Te_types.kv
+      then
+        invalid_arg
+          "Priority_te.solve: protection must be non-increasing with priority (kh >= kl)";
+      go rest
+    | _ -> ()
+  in
+  go classes
+
+let solve ~config_of ?prev (input : Te_types.input) =
+  let classes = priorities input in
+  check_monotone config_of classes;
+  let nlinks = Topology.num_links input.Te_types.topo in
+  let reserved = Array.make nlinks 0. in
+  let merged = Te_types.zero_allocation input in
+  let rec go stats = function
+    | [] -> Ok (merged, List.rev stats)
+    | prio :: rest -> (
+      let class_flows =
+        List.filter (fun (f : Flow.t) -> f.Flow.priority = prio) input.Te_types.flows
+      in
+      let class_input = { input with Te_types.flows = class_flows } in
+      match Ffc.solve ~config:(config_of prio) ?prev ~reserved:(Array.copy reserved) class_input with
+      | Error e -> Error (Printf.sprintf "priority %d: %s" prio e)
+      | Ok r ->
+        (* Reserve only this class's *actual* traffic-split loads, not its
+           planned upper bounds: the spare capacity set aside to protect a
+           high class is deliberately usable by lower classes (§5.1/§8.4) —
+           priority queueing drops the low class first if a fault consumes
+           the headroom. *)
+        let loads = Te_types.split_loads class_input r.Ffc.alloc in
+        Array.iteri (fun i v -> reserved.(i) <- reserved.(i) +. v) loads;
+        List.iter
+          (fun (f : Flow.t) ->
+            let id = f.Flow.id in
+            merged.Te_types.bf.(id) <- r.Ffc.alloc.Te_types.bf.(id);
+            Array.blit r.Ffc.alloc.Te_types.af.(id) 0 merged.Te_types.af.(id) 0
+              (Array.length merged.Te_types.af.(id)))
+          class_flows;
+        go (r.Ffc.stats :: stats) rest)
+  in
+  go [] classes

@@ -1,0 +1,19 @@
+(** Multi-priority FFC (§5.1): cascading computation, highest priority first,
+    each class solved with its own protection level against the residual
+    capacity left by higher classes.
+
+    The paper requires protection to be non-increasing with priority
+    ([kh >= kl] componentwise); {!solve} enforces this. *)
+
+val solve :
+  config_of:(int -> Ffc.config) ->
+  ?prev:Te_types.allocation ->
+  Te_types.input ->
+  (Te_types.allocation * Ffc.stats list, string) result
+(** [solve ~config_of input] solves one FFC TE per priority class present in
+    [input.flows] (class 0 = highest, first). [config_of p] gives the class
+    configuration; [prev] is the previously-installed allocation over all
+    flows. Returns the merged allocation and per-class LP stats. *)
+
+val priorities : Te_types.input -> int list
+(** Distinct priority classes, ascending (highest priority first). *)

@@ -1,0 +1,70 @@
+open Ffc_net
+
+type rates = { tunnel_rates : float array array; undeliverable : float array }
+
+let rescale (input : Te_types.input) (alloc : Te_types.allocation)
+    ?(stuck = fun _ -> false) ?old_alloc ~failed_links ~failed_switches () =
+  let n = Array.length input.Te_types.demands in
+  let tunnel_rates = Array.make n [||] in
+  let undeliverable = Array.make n 0. in
+  List.iter
+    (fun (f : Flow.t) ->
+      let id = f.Flow.id in
+      let nt = Flow.num_tunnels f in
+      tunnel_rates.(id) <- Array.make nt 0.;
+      let rate = alloc.Te_types.bf.(id) in
+      if rate > 0. then begin
+        if failed_switches f.Flow.src || failed_switches f.Flow.dst then
+          undeliverable.(id) <- rate
+        else begin
+          let weights =
+            if stuck f.Flow.src then
+              match old_alloc with
+              | Some old -> Te_types.weights old id
+              | None -> invalid_arg "Rescale.rescale: stuck ingress requires old_alloc"
+            else Te_types.weights alloc id
+          in
+          let alive =
+            List.mapi
+              (fun ti t -> (ti, Tunnel.survives t ~failed_links ~failed_switches))
+              f.Flow.tunnels
+          in
+          let alive_weight =
+            List.fold_left
+              (fun acc (ti, ok) -> if ok then acc +. weights.(ti) else acc)
+              0. alive
+          in
+          if alive_weight <= 1e-12 then undeliverable.(id) <- rate
+          else
+            List.iter
+              (fun (ti, ok) ->
+                if ok then
+                  tunnel_rates.(id).(ti) <- rate *. weights.(ti) /. alive_weight)
+              alive
+        end
+      end)
+    input.Te_types.flows;
+  { tunnel_rates; undeliverable }
+
+let loads (input : Te_types.input) tunnel_rates =
+  let out = Array.make (Topology.num_links input.Te_types.topo) 0. in
+  List.iter
+    (fun (f : Flow.t) ->
+      let id = f.Flow.id in
+      List.iteri
+        (fun ti (t : Tunnel.t) ->
+          let r = tunnel_rates.(id).(ti) in
+          if r > 0. then
+            List.iter
+              (fun (l : Topology.link) -> out.(l.Topology.id) <- out.(l.Topology.id) +. r)
+              t.Tunnel.links)
+        f.Flow.tunnels)
+    input.Te_types.flows;
+  out
+
+let overflow (input : Te_types.input) link_loads =
+  Array.fold_left
+    (fun acc (l : Topology.link) ->
+      acc +. max 0. (link_loads.(l.Topology.id) -. l.Topology.capacity))
+    0.
+    (Topology.links input.Te_types.topo)

@@ -1,0 +1,67 @@
+open Ffc_net
+
+type input = { topo : Topology.t; flows : Flow.t list; demands : float array }
+
+let input_flow input id = List.find (fun (f : Flow.t) -> f.Flow.id = id) input.flows
+
+type allocation = { bf : float array; af : float array array }
+
+let zero_allocation input =
+  let n = Array.length input.demands in
+  let af = Array.make n [||] in
+  List.iter
+    (fun (f : Flow.t) -> af.(f.Flow.id) <- Array.make (Flow.num_tunnels f) 0.)
+    input.flows;
+  { bf = Array.make n 0.; af }
+
+let weights alloc f =
+  let a = alloc.af.(f) in
+  let total = Array.fold_left ( +. ) 0. a in
+  (* A flow with no installed allocation has no forwarding rules: it cannot
+     emit traffic anywhere, so its weights are zero (not an even split). *)
+  if total <= 1e-12 then Array.make (Array.length a) 0.
+  else Array.map (fun v -> v /. total) a
+
+let throughput alloc = Array.fold_left ( +. ) 0. alloc.bf
+
+let loads_with input per_flow_rates =
+  let loads = Array.make (Topology.num_links input.topo) 0. in
+  List.iter
+    (fun (f : Flow.t) ->
+      let rates = per_flow_rates f in
+      List.iteri
+        (fun ti (tn : Tunnel.t) ->
+          let r = rates.(ti) in
+          if r > 0. then
+            List.iter
+              (fun (l : Topology.link) -> loads.(l.Topology.id) <- loads.(l.Topology.id) +. r)
+              tn.Tunnel.links)
+        f.Flow.tunnels)
+    input.flows;
+  loads
+
+let link_loads input alloc = loads_with input (fun f -> alloc.af.(f.Flow.id))
+
+let split_loads input alloc =
+  loads_with input (fun f ->
+      let w = weights alloc f.Flow.id in
+      Array.map (fun wi -> wi *. alloc.bf.(f.Flow.id)) w)
+
+type protection = { kc : int; ke : int; kv : int }
+
+let no_protection = { kc = 0; ke = 0; kv = 0 }
+
+let protection ?(kc = 0) ?(ke = 0) ?(kv = 0) () =
+  if kc < 0 || ke < 0 || kv < 0 then invalid_arg "Te_types.protection: negative";
+  { kc; ke; kv }
+
+let pp_protection fmt p = Format.fprintf fmt "(%d, %d, %d)" p.kc p.ke p.kv
+
+let max_oversubscription input loads =
+  let worst = ref 0. in
+  Array.iter
+    (fun (l : Topology.link) ->
+      let over = (loads.(l.Topology.id) -. l.Topology.capacity) /. l.Topology.capacity in
+      if over > !worst then worst := over)
+    (Topology.links input.topo);
+  100. *. !worst

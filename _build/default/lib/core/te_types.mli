@@ -1,0 +1,55 @@
+(** Shared types of the TE formulations: problem input, computed
+    allocations, and protection levels. *)
+
+open Ffc_net
+
+type input = {
+  topo : Topology.t;
+  flows : Flow.t list;
+  demands : float array; (* indexed by Flow.id; Gbps per TE interval *)
+}
+
+val input_flow : input -> int -> Flow.t
+(** Flow by id. Raises [Not_found] for unknown ids. *)
+
+type allocation = {
+  bf : float array; (* granted rate per flow id *)
+  af : float array array; (* per flow id, per tunnel position: tunnel rate *)
+}
+
+val zero_allocation : input -> allocation
+
+val weights : allocation -> int -> float array
+(** [weights alloc f] are the traffic-splitting weights [w_{f,t} = a_{f,t} /
+    sum_t a_{f,t}] installed at the ingress switch; all-zero if the flow has
+    no allocation (no installed rules means no traffic can be emitted). *)
+
+val throughput : allocation -> float
+(** [sum_f b_f]. *)
+
+val link_loads : input -> allocation -> float array
+(** Load per link id implied by the tunnel allocations [a_{f,t}] (the
+    planned worst-case load, not the traffic-split load). *)
+
+val split_loads : input -> allocation -> float array
+(** Load per link id when each flow sends [b_f] split by {!weights} (the
+    actual no-fault data-plane load; [<= link_loads] pointwise whenever
+    [sum_t a_{f,t} >= b_f]). *)
+
+type protection = { kc : int; ke : int; kv : int }
+(** Protection level: up to [kc] switch-configuration faults, [ke] link
+    failures, [kv] switch failures (§4.5). *)
+
+val no_protection : protection
+
+val protection : ?kc:int -> ?ke:int -> ?kv:int -> unit -> protection
+(** Missing components default to 0. Raises [Invalid_argument] on negative
+    values. *)
+
+val pp_protection : Format.formatter -> protection -> unit
+(** Prints [(kc, ke, kv)]. *)
+
+val max_oversubscription : input -> float array -> float
+(** Given per-link loads, the maximum relative oversubscription
+    [max_e (load_e - c_e) / c_e], in percent; 0 when nothing is overloaded
+    (the metric of the paper's Figure 1). *)

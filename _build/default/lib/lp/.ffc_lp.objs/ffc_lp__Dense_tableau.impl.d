@@ -1,0 +1,1 @@
+lib/lp/dense_tableau.ml: Array Float List Problem

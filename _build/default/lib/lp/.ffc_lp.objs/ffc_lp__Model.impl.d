@@ -1,0 +1,1 @@
+lib/lp/model.ml: Array Dense_tableau Expr Format List Option Presolve Printf Problem Revised

@@ -1,0 +1,241 @@
+(* Two-phase full-tableau simplex with Bland's rule (guaranteed termination).
+   The bounded problem is first rewritten into [min c x, A x = b, x >= 0]:
+   - fixed variables are substituted out;
+   - finite lower bounds are shifted to zero;
+   - upper-only-bounded variables are mirrored;
+   - two-sided bounds add an explicit range row;
+   - free variables are split into a positive and a negative part. *)
+
+type col_map =
+  | Fixed of float (* original value *)
+  | Shifted of int * float (* x = x'_idx + offset *)
+  | Mirrored of int * float (* x = offset - x'_idx *)
+  | Split of int * int (* x = x'_pos - x'_neg *)
+
+type std_form = {
+  n : int; (* columns of the standard form *)
+  rows : (int * float) list array; (* sparse rows, equality *)
+  b : float array;
+  c : float array;
+  mapping : col_map array; (* per original column *)
+}
+
+let standardise (p : Problem.t) =
+  let next = ref 0 in
+  let fresh () =
+    let i = !next in
+    incr next;
+    i
+  in
+  let extra_rows = ref [] in
+  let mapping =
+    Array.init p.Problem.ncols (fun j ->
+        let lo = p.Problem.lb.(j) and hi = p.Problem.ub.(j) in
+        if lo = hi then Fixed lo
+        else if Float.is_finite lo then begin
+          let idx = fresh () in
+          if Float.is_finite hi then extra_rows := (idx, hi -. lo) :: !extra_rows;
+          Shifted (idx, lo)
+        end
+        else if Float.is_finite hi then Mirrored (fresh (), hi)
+        else Split (fresh (), fresh ()))
+  in
+  (* Range rows get their own slack variables. *)
+  let range_rows =
+    List.rev_map
+      (fun (idx, width) ->
+        let slack = fresh () in
+        ([ (idx, 1.); (slack, 1.) ], width))
+      !extra_rows
+  in
+  let n = !next in
+  let nrows = p.Problem.nrows + List.length range_rows in
+  let rows = Array.make nrows [] in
+  let b = Array.make nrows 0. in
+  Array.blit p.Problem.rhs 0 b 0 p.Problem.nrows;
+  let add_entry i j v = if v <> 0. then rows.(i) <- (j, v) :: rows.(i) in
+  for j = 0 to p.Problem.ncols - 1 do
+    let crows = p.Problem.col_rows.(j) and cvals = p.Problem.col_vals.(j) in
+    for k = 0 to Array.length crows - 1 do
+      let i = crows.(k) and v = cvals.(k) in
+      match mapping.(j) with
+      | Fixed value -> b.(i) <- b.(i) -. (v *. value)
+      | Shifted (idx, off) ->
+        add_entry i idx v;
+        b.(i) <- b.(i) -. (v *. off)
+      | Mirrored (idx, off) ->
+        add_entry i idx (-.v);
+        b.(i) <- b.(i) -. (v *. off)
+      | Split (pos, neg) ->
+        add_entry i pos v;
+        add_entry i neg (-.v)
+    done
+  done;
+  List.iteri
+    (fun k (terms, width) ->
+      let i = p.Problem.nrows + k in
+      rows.(i) <- terms;
+      b.(i) <- width)
+    range_rows;
+  let c = Array.make n 0. in
+  for j = 0 to p.Problem.ncols - 1 do
+    let cj = p.Problem.obj.(j) in
+    if cj <> 0. then
+      match mapping.(j) with
+      | Fixed _ -> ()
+      | Shifted (idx, _) -> c.(idx) <- c.(idx) +. cj
+      | Mirrored (idx, _) -> c.(idx) <- c.(idx) -. cj
+      | Split (pos, neg) ->
+        c.(pos) <- c.(pos) +. cj;
+        c.(neg) <- c.(neg) -. cj
+  done;
+  { n; rows; b; c; mapping }
+
+let eps = 1e-9
+
+(* Full tableau over columns [0..n-1] structural, [n..n+m-1] artificial,
+   column n+m = rhs. Row m is the objective row. *)
+let solve ?max_iterations (p : Problem.t) =
+  let sf = standardise p in
+  let m = Array.length sf.b in
+  let n = sf.n in
+  let width = n + m + 1 in
+  let t = Array.make_matrix (m + 1) width 0. in
+  for i = 0 to m - 1 do
+    let flip = if sf.b.(i) < 0. then -1. else 1. in
+    List.iter (fun (j, v) -> t.(i).(j) <- t.(i).(j) +. (flip *. v)) sf.rows.(i);
+    t.(i).(n + i) <- 1.;
+    t.(i).(width - 1) <- flip *. sf.b.(i)
+  done;
+  let basis = Array.init m (fun i -> n + i) in
+  let max_iterations =
+    match max_iterations with Some k -> k | None -> 200 * (m + n) + 5_000
+  in
+  let iterations = ref 0 in
+  (* Bland's rule: entering = lowest-index column with negative reduced cost,
+     leaving = lowest-index basic among the min-ratio rows. *)
+  let pivot r c =
+    let piv = t.(r).(c) in
+    for j = 0 to width - 1 do
+      t.(r).(j) <- t.(r).(j) /. piv
+    done;
+    for i = 0 to m do
+      if i <> r then begin
+        let f = t.(i).(c) in
+        if f <> 0. then
+          for j = 0 to width - 1 do
+            t.(i).(j) <- t.(i).(j) -. (f *. t.(r).(j))
+          done
+      end
+    done;
+    basis.(r) <- c
+  in
+  let rec iterate allowed =
+    if !iterations > max_iterations then `Iterlimit
+    else begin
+      let enter = ref (-1) in
+      (try
+         for j = 0 to n + m - 1 do
+           if allowed j && t.(m).(j) < -.eps then begin
+             enter := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !enter < 0 then `Optimal
+      else begin
+        let c = !enter in
+        let leave = ref (-1) in
+        let best = ref infinity in
+        for i = 0 to m - 1 do
+          if t.(i).(c) > eps then begin
+            let ratio = t.(i).(width - 1) /. t.(i).(c) in
+            if
+              ratio < !best -. eps
+              || (ratio < !best +. eps && (!leave < 0 || basis.(i) < basis.(!leave)))
+            then begin
+              best := ratio;
+              leave := i
+            end
+          end
+        done;
+        if !leave < 0 then `Unbounded
+        else begin
+          pivot !leave c;
+          incr iterations;
+          iterate allowed
+        end
+      end
+    end
+  in
+  (* Phase 1. *)
+  for j = 0 to width - 1 do
+    let acc = ref 0. in
+    for i = 0 to m - 1 do
+      acc := !acc +. t.(i).(j)
+    done;
+    t.(m).(j) <- (if j >= n && j < n + m then 1. -. !acc else -. !acc)
+  done;
+  let finish status x_struct =
+    let x = Array.make p.Problem.ncols 0. in
+    (match x_struct with
+    | None -> ()
+    | Some xs ->
+      for j = 0 to p.Problem.ncols - 1 do
+        x.(j) <-
+          (match sf.mapping.(j) with
+          | Fixed v -> v
+          | Shifted (idx, off) -> xs idx +. off
+          | Mirrored (idx, off) -> off -. xs idx
+          | Split (pos, neg) -> xs pos -. xs neg)
+      done);
+    let objective = ref 0. in
+    for j = 0 to p.Problem.ncols - 1 do
+      objective := !objective +. (p.Problem.obj.(j) *. x.(j))
+    done;
+    { Problem.status; x; objective = !objective; iterations = !iterations }
+  in
+  match iterate (fun _ -> true) with
+  | `Iterlimit -> finish Problem.Iteration_limit None
+  | `Unbounded -> finish Problem.Infeasible None (* phase 1 cannot be unbounded *)
+  | `Optimal ->
+    let phase1_obj = -.t.(m).(width - 1) in
+    if phase1_obj > 1e-6 then finish Problem.Infeasible None
+    else begin
+      (* Drive any basic artificial out where possible. *)
+      for i = 0 to m - 1 do
+        if basis.(i) >= n then begin
+          let found = ref (-1) in
+          (try
+             for j = 0 to n - 1 do
+               if abs_float t.(i).(j) > 1e-7 then begin
+                 found := j;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          if !found >= 0 then pivot i !found
+        end
+      done;
+      (* Phase 2: rebuild the cost row from real costs. *)
+      for j = 0 to width - 1 do
+        t.(m).(j) <- (if j < n then sf.c.(j) else 0.)
+      done;
+      for i = 0 to m - 1 do
+        let cb = if basis.(i) < n then sf.c.(basis.(i)) else 0. in
+        if cb <> 0. then
+          for j = 0 to width - 1 do
+            t.(m).(j) <- t.(m).(j) -. (cb *. t.(i).(j))
+          done
+      done;
+      let allowed j = j < n in
+      match iterate allowed with
+      | `Iterlimit -> finish Problem.Iteration_limit None
+      | `Unbounded -> finish Problem.Unbounded None
+      | `Optimal ->
+        let xs = Array.make n 0. in
+        for i = 0 to m - 1 do
+          if basis.(i) < n then xs.(basis.(i)) <- t.(i).(width - 1)
+        done;
+        finish Problem.Optimal (Some (fun idx -> xs.(idx)))
+    end

@@ -1,0 +1,11 @@
+(** Textbook two-phase full-tableau simplex, used as an independent oracle to
+    cross-check {!Revised} in the test suite.
+
+    Bounded variables are handled by shifting/splitting into the standard
+    [min c x, A x = b, x >= 0] form (adding an explicit row per two-sided
+    bound), so this solver is only suitable for small problems — the test
+    harness keeps instances to tens of rows. *)
+
+val solve : ?max_iterations:int -> Problem.t -> Problem.result
+(** Same contract as {!Revised.solve}: the returned [x] covers all columns
+    (structural and slack) of the input problem. *)

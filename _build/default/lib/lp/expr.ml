@@ -1,0 +1,46 @@
+(* Terms are kept as an unordered list and merged lazily: building large sums
+   stays O(n) and normalisation happens once, when the expression is consumed
+   by the model. *)
+type t = { raw : (int * float) list; constant : float }
+
+let zero = { raw = []; constant = 0. }
+
+let const c = { raw = []; constant = c }
+
+let var ?(coeff = 1.) i = { raw = [ (i, coeff) ]; constant = 0. }
+
+let add a b = { raw = List.rev_append a.raw b.raw; constant = a.constant +. b.constant }
+
+let scale k e =
+  if k = 0. then { zero with constant = 0. }
+  else { raw = List.map (fun (i, c) -> (i, k *. c)) e.raw; constant = k *. e.constant }
+
+let neg e = scale (-1.) e
+
+let sub a b = add a (neg b)
+
+let sum es = List.fold_left add zero es
+
+let add_term e c i = { e with raw = (i, c) :: e.raw }
+
+let terms e =
+  let tbl = Hashtbl.create (List.length e.raw) in
+  let bump (i, c) =
+    match Hashtbl.find_opt tbl i with
+    | None -> Hashtbl.add tbl i c
+    | Some c0 -> Hashtbl.replace tbl i (c0 +. c)
+  in
+  List.iter bump e.raw;
+  Hashtbl.fold (fun i c acc -> if c = 0. then acc else (i, c) :: acc) tbl []
+  |> List.sort (fun (i, _) (j, _) -> compare i j)
+
+let constant e = e.constant
+
+let eval value e =
+  List.fold_left (fun acc (i, c) -> acc +. (c *. value i)) e.constant e.raw
+
+let pp fmt e =
+  let ts = terms e in
+  let pp_term fmt (i, c) = Format.fprintf fmt "%+g*x%d" c i in
+  Format.fprintf fmt "%a %+g" (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_term) ts
+    e.constant

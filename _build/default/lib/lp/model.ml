@@ -1,0 +1,115 @@
+type var = int
+
+type row = { terms : (int * float) list; sense : Problem.sense; rhs : float }
+
+type t = {
+  name : string;
+  mutable nvars : int;
+  mutable lbs : float list; (* reversed *)
+  mutable ubs : float list; (* reversed *)
+  mutable names : string list; (* reversed *)
+  mutable rows : row list; (* reversed *)
+  mutable nrows : int;
+  mutable objective : Expr.t;
+  mutable sense_max : bool;
+}
+
+let create ?(name = "lp") () =
+  {
+    name;
+    nvars = 0;
+    lbs = [];
+    ubs = [];
+    names = [];
+    rows = [];
+    nrows = 0;
+    objective = Expr.zero;
+    sense_max = true;
+  }
+
+let add_var ?(lb = 0.) ?(ub = infinity) ?name t =
+  let i = t.nvars in
+  t.nvars <- i + 1;
+  t.lbs <- lb :: t.lbs;
+  t.ubs <- ub :: t.ubs;
+  t.names <- Option.value name ~default:(Printf.sprintf "x%d" i) :: t.names;
+  i
+
+let add_vars ?lb ?ub ?name t k =
+  List.init k (fun i ->
+      let name = Option.map (fun stem -> Printf.sprintf "%s_%d" stem i) name in
+      add_var ?lb ?ub ?name t)
+
+let add_row t lhs rhs sense =
+  let diff = Expr.sub lhs rhs in
+  let terms = Expr.terms diff in
+  let b = -.Expr.constant diff in
+  t.rows <- { terms; sense; rhs = b } :: t.rows;
+  t.nrows <- t.nrows + 1
+
+let le t lhs rhs = add_row t lhs rhs Problem.Le
+let ge t lhs rhs = add_row t lhs rhs Problem.Ge
+let eq t lhs rhs = add_row t lhs rhs Problem.Eq
+
+let maximize t e =
+  t.objective <- e;
+  t.sense_max <- true
+
+let minimize t e =
+  t.objective <- e;
+  t.sense_max <- false
+
+type solution = { x : float array; obj : float }
+
+type outcome = Optimal of solution | Infeasible | Unbounded | Iteration_limit
+
+type backend = [ `Revised | `Dense_tableau ]
+
+let to_problem ?(presolve = true) t =
+  let lb = Array.of_list (List.rev t.lbs) in
+  let ub = Array.of_list (List.rev t.ubs) in
+  let obj = Array.make t.nvars 0. in
+  let sign = if t.sense_max then -1. else 1. in
+  List.iter (fun (j, c) -> obj.(j) <- obj.(j) +. (sign *. c)) (Expr.terms t.objective);
+  let rows = List.rev_map (fun r -> (r.terms, r.sense, r.rhs)) t.rows in
+  if presolve then
+    match Presolve.reduce ~lb ~ub ~rows with
+    | Presolve.Infeasible _ -> None
+    | Presolve.Reduced { lb; ub; rows } ->
+      Some (Problem.build ~nstruct:t.nvars ~lb ~ub ~obj ~rows)
+  else Some (Problem.build ~nstruct:t.nvars ~lb ~ub ~obj ~rows)
+
+let solve ?(backend = `Revised) ?presolve t =
+  match to_problem ?presolve t with
+  | None -> Infeasible
+  | Some p ->
+  let result =
+    match backend with `Revised -> Revised.solve p | `Dense_tableau -> Dense_tableau.solve p
+  in
+  match result.Problem.status with
+  | Problem.Optimal ->
+    let x = Array.sub result.Problem.x 0 t.nvars in
+    let obj =
+      Expr.eval (fun j -> x.(j)) t.objective
+    in
+    Optimal { x; obj }
+  | Problem.Infeasible -> Infeasible
+  | Problem.Unbounded -> Unbounded
+  | Problem.Iteration_limit -> Iteration_limit
+
+let value sol j = sol.x.(j)
+
+let value_expr sol e = Expr.eval (fun j -> sol.x.(j)) e
+
+let objective_value sol = sol.obj
+
+let num_vars t = t.nvars
+let num_constraints t = t.nrows
+
+let var_name t j =
+  match List.nth_opt t.names (t.nvars - 1 - j) with
+  | Some n -> n
+  | None -> Printf.sprintf "x%d" j
+
+let pp_stats fmt t =
+  Format.fprintf fmt "%s: vars=%d rows=%d" t.name t.nvars t.nrows

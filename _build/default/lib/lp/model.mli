@@ -1,0 +1,62 @@
+(** Mutable LP model builder: variables with bounds, linear constraints, a
+    single linear objective, and a [solve] entry point dispatching to a
+    solver backend. This is the API the FFC formulations are written
+    against. *)
+
+type t
+
+type var = int
+(** Variables are indices into the model; use them with {!Expr.var}. *)
+
+val create : ?name:string -> unit -> t
+
+val add_var : ?lb:float -> ?ub:float -> ?name:string -> t -> var
+(** New variable. [lb] defaults to [0.], [ub] to [infinity]. Use
+    [~lb:neg_infinity] for free variables. *)
+
+val add_vars : ?lb:float -> ?ub:float -> ?name:string -> t -> int -> var list
+(** [add_vars t k] adds [k] variables sharing bounds and a name stem. *)
+
+val le : t -> Expr.t -> Expr.t -> unit
+(** [le t lhs rhs] adds [lhs <= rhs]. *)
+
+val ge : t -> Expr.t -> Expr.t -> unit
+val eq : t -> Expr.t -> Expr.t -> unit
+
+val maximize : t -> Expr.t -> unit
+(** Set the objective (replacing any previous one). *)
+
+val minimize : t -> Expr.t -> unit
+
+type solution
+
+type outcome =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+type backend = [ `Revised | `Dense_tableau ]
+
+val solve : ?backend:backend -> ?presolve:bool -> t -> outcome
+(** Solve the model as currently built. The model remains usable (more
+    constraints may be added and it can be re-solved). Default backend is
+    [`Revised]; {!Presolve} runs first unless [~presolve:false]. *)
+
+val value : solution -> var -> float
+(** Value of a variable in the solution. *)
+
+val value_expr : solution -> Expr.t -> float
+
+val objective_value : solution -> float
+(** Objective in the user's sense (maximisation objectives are reported as
+    maximisation values). *)
+
+val num_vars : t -> int
+val num_constraints : t -> int
+
+val var_name : t -> var -> string
+(** The name given at creation, or ["x<i>"]. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line [vars=… rows=…] summary. *)

@@ -1,0 +1,97 @@
+type sense = Le | Ge | Eq
+
+type t = {
+  nstruct : int;
+  ncols : int;
+  nrows : int;
+  col_rows : int array array;
+  col_vals : float array array;
+  lb : float array;
+  ub : float array;
+  obj : float array;
+  rhs : float array;
+}
+
+let build ~nstruct ~lb ~ub ~obj ~rows =
+  let nrows = List.length rows in
+  let ncols = nstruct + nrows in
+  if Array.length lb <> nstruct || Array.length ub <> nstruct || Array.length obj <> nstruct
+  then invalid_arg "Problem.build: bound/objective arrays must have length nstruct";
+  Array.iteri
+    (fun i l ->
+      if Float.is_nan l || Float.is_nan ub.(i) then invalid_arg "Problem.build: NaN bound";
+      if l > ub.(i) then invalid_arg "Problem.build: lb > ub")
+    lb;
+  let lb' = Array.make ncols 0. and ub' = Array.make ncols 0. in
+  Array.blit lb 0 lb' 0 nstruct;
+  Array.blit ub 0 ub' 0 nstruct;
+  let obj' = Array.make ncols 0. in
+  Array.blit obj 0 obj' 0 nstruct;
+  let rhs = Array.make nrows 0. in
+  (* Accumulate column nonzeros; duplicate (row, var) terms are merged. *)
+  let acc : (int, float) Hashtbl.t array = Array.init ncols (fun _ -> Hashtbl.create 4) in
+  let add_entry col row v =
+    if v <> 0. then begin
+      let tbl = acc.(col) in
+      match Hashtbl.find_opt tbl row with
+      | None -> Hashtbl.add tbl row v
+      | Some v0 -> Hashtbl.replace tbl row (v0 +. v)
+    end
+  in
+  List.iteri
+    (fun i (terms, sense, b) ->
+      if Float.is_nan b then invalid_arg "Problem.build: NaN rhs";
+      rhs.(i) <- b;
+      List.iter
+        (fun (j, v) ->
+          if j < 0 || j >= nstruct then invalid_arg "Problem.build: variable index out of range";
+          if Float.is_nan v then invalid_arg "Problem.build: NaN coefficient";
+          add_entry j i v)
+        terms;
+      let slack = nstruct + i in
+      add_entry slack i 1.;
+      let slo, shi =
+        match sense with Le -> (0., infinity) | Ge -> (neg_infinity, 0.) | Eq -> (0., 0.)
+      in
+      lb'.(slack) <- slo;
+      ub'.(slack) <- shi)
+    rows;
+  let col_rows = Array.make ncols [||] and col_vals = Array.make ncols [||] in
+  for j = 0 to ncols - 1 do
+    let entries =
+      Hashtbl.fold (fun r v l -> if v = 0. then l else (r, v) :: l) acc.(j) []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    col_rows.(j) <- Array.of_list (List.map fst entries);
+    col_vals.(j) <- Array.of_list (List.map snd entries)
+  done;
+  { nstruct; ncols; nrows; col_rows; col_vals; lb = lb'; ub = ub'; obj = obj'; rhs }
+
+type status = Optimal | Infeasible | Unbounded | Iteration_limit
+
+type result = { status : status; x : float array; objective : float; iterations : int }
+
+let eval_row _p terms x =
+  List.fold_left (fun acc (j, v) -> acc +. (v *. x.(j))) 0. terms
+
+let max_violation p x =
+  let viol = ref 0. in
+  (* Bounds. *)
+  for j = 0 to p.ncols - 1 do
+    if x.(j) < p.lb.(j) then viol := max !viol (p.lb.(j) -. x.(j));
+    if x.(j) > p.ub.(j) then viol := max !viol (x.(j) -. p.ub.(j))
+  done;
+  (* Rows: A x + s = rhs. *)
+  let lhs = Array.make p.nrows 0. in
+  for j = 0 to p.ncols - 1 do
+    let rows = p.col_rows.(j) and vals = p.col_vals.(j) in
+    let xj = x.(j) in
+    if xj <> 0. then
+      for k = 0 to Array.length rows - 1 do
+        lhs.(rows.(k)) <- lhs.(rows.(k)) +. (vals.(k) *. xj)
+      done
+  done;
+  for i = 0 to p.nrows - 1 do
+    viol := max !viol (abs_float (lhs.(i) -. p.rhs.(i)))
+  done;
+  !viol

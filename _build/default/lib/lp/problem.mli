@@ -1,0 +1,49 @@
+(** Standard computational form shared by the simplex implementations.
+
+    A problem is [minimise obj . x] subject to [A x + s = rhs] and
+    [lb <= x <= lb], where one slack variable [s_i] is appended per row with
+    bounds encoding the row sense ([<=] gives [0 <= s], [>=] gives [s <= 0],
+    [=] gives [s = 0]). Columns are stored sparsely. Infinite bounds are
+    [neg_infinity] / [infinity]. *)
+
+type sense = Le | Ge | Eq
+
+type t = private {
+  nstruct : int;  (** number of structural (user) variables *)
+  ncols : int;  (** [nstruct + nrows]: structural then slack columns *)
+  nrows : int;
+  col_rows : int array array;  (** per column: row indices of nonzeros *)
+  col_vals : float array array;  (** per column: matching coefficients *)
+  lb : float array;  (** length [ncols] *)
+  ub : float array;
+  obj : float array;  (** minimisation costs, length [ncols] (slacks are 0) *)
+  rhs : float array;
+}
+
+val build :
+  nstruct:int ->
+  lb:float array ->
+  ub:float array ->
+  obj:float array ->
+  rows:((int * float) list * sense * float) list ->
+  t
+(** [build ~nstruct ~lb ~ub ~obj ~rows] assembles the computational form.
+    Each row is [(terms, sense, rhs)] with variable indices in
+    [0..nstruct-1]. Raises [Invalid_argument] on malformed input (bad index,
+    [lb > ub], NaN). *)
+
+type status = Optimal | Infeasible | Unbounded | Iteration_limit
+
+type result = {
+  status : status;
+  x : float array;  (** length [ncols]; meaningful when [status = Optimal] *)
+  objective : float;  (** minimisation objective value *)
+  iterations : int;
+}
+
+val eval_row : t -> (int * float) list -> float array -> float
+(** [eval_row p terms x] evaluates a row's left-hand side at [x]. *)
+
+val max_violation : t -> float array -> float
+(** Maximum absolute constraint/bound violation of [x]; for checking
+    solutions independently of any solver state. *)

@@ -1,0 +1,498 @@
+(* Bounded-variable revised primal simplex with an explicit dense basis
+   inverse.
+
+   Variable layout: columns [0, ncols) are the problem's structural + slack
+   columns; columns [ncols, ncols + nrows) are artificial variables, one per
+   row, with a +/-1 coefficient chosen so the initial artificial value is
+   non-negative. Phase 1 minimises the sum of artificials; once it reaches
+   (numerical) zero the artificial bounds are pinned to [0,0] and phase 2
+   minimises the real objective.
+
+   Invariants maintained across iterations:
+   - [basic.(i)] is the variable basic in row i; [vstat.(j)] tracks whether a
+     variable is basic, at a bound, or nonbasic free (value 0);
+   - [xval.(j)] is the current value of every variable;
+   - [binv] is (an approximation of) B^-1 for the current basis; drift is
+     measured against the true residual and triggers refactorisation. *)
+
+let feas_tol = 1e-7
+let opt_tol = 1e-7
+let pivot_tol = 1e-8
+let zero_tol = 1e-11
+
+type vstat = Basic | At_lower | At_upper | Free_nonbasic
+
+type state = {
+  p : Problem.t;
+  n : int; (* total columns including artificials *)
+  m : int;
+  lb : float array; (* length n *)
+  ub : float array;
+  art_sign : float array; (* per-row sign of its artificial column *)
+  mutable cost : float array; (* current phase costs, length n *)
+  basic : int array; (* row -> variable *)
+  vstat : vstat array;
+  xval : float array;
+  binv : float array; (* m*m row-major *)
+  work : float array; (* scratch, length m *)
+  mutable bland : bool;
+  mutable degenerate_run : int;
+  mutable iterations : int;
+}
+
+let col_rows st j =
+  if j < st.p.Problem.ncols then st.p.Problem.col_rows.(j) else [| j - st.p.Problem.ncols |]
+
+let col_vals st j =
+  if j < st.p.Problem.ncols then st.p.Problem.col_vals.(j)
+  else [| st.art_sign.(j - st.p.Problem.ncols) |]
+
+(* rhs - (sum of nonbasic columns at their values), the vector whose image
+   under B^-1 gives the basic values. *)
+let residual st out =
+  let p = st.p in
+  Array.blit p.Problem.rhs 0 out 0 st.m;
+  for j = 0 to st.n - 1 do
+    if st.vstat.(j) <> Basic then begin
+      let xj = st.xval.(j) in
+      if xj <> 0. then begin
+        let rows = col_rows st j and vals = col_vals st j in
+        for k = 0 to Array.length rows - 1 do
+          out.(rows.(k)) <- out.(rows.(k)) -. (vals.(k) *. xj)
+        done
+      end
+    end
+  done
+
+(* Recompute basic variable values from binv; returns max change seen. *)
+let recompute_basics st =
+  let r = Array.make st.m 0. in
+  residual st r;
+  let drift = ref 0. in
+  for i = 0 to st.m - 1 do
+    let acc = ref 0. in
+    let base = i * st.m in
+    for k = 0 to st.m - 1 do
+      acc := !acc +. (Array.unsafe_get st.binv (base + k) *. Array.unsafe_get r k)
+    done;
+    let j = st.basic.(i) in
+    drift := max !drift (abs_float (st.xval.(j) -. !acc));
+    st.xval.(j) <- !acc
+  done;
+  !drift
+
+(* Rebuild binv from the current basis by Gauss-Jordan with partial
+   pivoting. Returns false if the basis matrix is (numerically) singular. *)
+let refactorise st =
+  let m = st.m in
+  let a = Array.make (m * 2 * m) 0. in
+  let w = 2 * m in
+  for i = 0 to m - 1 do
+    a.((i * w) + m + i) <- 1.
+  done;
+  for i = 0 to m - 1 do
+    let j = st.basic.(i) in
+    let rows = col_rows st j and vals = col_vals st j in
+    for k = 0 to Array.length rows - 1 do
+      a.((rows.(k) * w) + i) <- vals.(k)
+    done
+  done;
+  let ok = ref true in
+  (for c = 0 to m - 1 do
+     (* Partial pivot on column c. *)
+     let best = ref c and best_v = ref (abs_float a.((c * w) + c)) in
+     for r = c + 1 to m - 1 do
+       let v = abs_float a.((r * w) + c) in
+       if v > !best_v then begin
+         best := r;
+         best_v := v
+       end
+     done;
+     if !best_v < 1e-12 then begin
+       ok := false
+     end
+     else begin
+       if !best <> c then
+         for k = 0 to w - 1 do
+           let t = a.((c * w) + k) in
+           a.((c * w) + k) <- a.((!best * w) + k);
+           a.((!best * w) + k) <- t
+         done;
+       let piv = a.((c * w) + c) in
+       for k = 0 to w - 1 do
+         a.((c * w) + k) <- a.((c * w) + k) /. piv
+       done;
+       for r = 0 to m - 1 do
+         if r <> c then begin
+           let f = a.((r * w) + c) in
+           if f <> 0. then
+             for k = 0 to w - 1 do
+               a.((r * w) + k) <- a.((r * w) + k) -. (f *. a.((c * w) + k))
+             done
+         end
+       done
+     end
+   done);
+  if !ok then begin
+    (* The inverse of the column-assembled basis maps row space correctly:
+       binv = right half of the reduced [B | I]. *)
+    for i = 0 to m - 1 do
+      for k = 0 to m - 1 do
+        st.binv.((i * m) + k) <- a.((i * w) + m + k)
+      done
+    done;
+    ignore (recompute_basics st)
+  end;
+  !ok
+
+(* y = cB^T B^-1, exploiting sparsity of cB. *)
+let duals st y =
+  Array.fill y 0 st.m 0.;
+  for i = 0 to st.m - 1 do
+    let c = st.cost.(st.basic.(i)) in
+    if c <> 0. then begin
+      let base = i * st.m in
+      for k = 0 to st.m - 1 do
+        Array.unsafe_set y k (Array.unsafe_get y k +. (c *. Array.unsafe_get st.binv (base + k)))
+      done
+    end
+  done
+
+let reduced_cost st y j =
+  let rows = col_rows st j and vals = col_vals st j in
+  let acc = ref st.cost.(j) in
+  for k = 0 to Array.length rows - 1 do
+    acc := !acc -. (Array.unsafe_get vals k *. Array.unsafe_get y (Array.unsafe_get rows k))
+  done;
+  !acc
+
+(* w = B^-1 a_j *)
+let ftran st j w =
+  Array.fill w 0 st.m 0.;
+  let rows = col_rows st j and vals = col_vals st j in
+  for k = 0 to Array.length rows - 1 do
+    let r = Array.unsafe_get rows k and v = Array.unsafe_get vals k in
+    for i = 0 to st.m - 1 do
+      Array.unsafe_set w i
+        (Array.unsafe_get w i +. (Array.unsafe_get st.binv ((i * st.m) + r) *. v))
+    done
+  done
+
+type pricing_result = No_candidate | Enter of int * float (* variable, direction *)
+
+let price st y =
+  let best = ref No_candidate and best_score = ref opt_tol in
+  (try
+     for j = 0 to st.n - 1 do
+       match st.vstat.(j) with
+       | Basic -> ()
+       | _ when st.lb.(j) = st.ub.(j) -> () (* fixed: cannot move *)
+       | status ->
+         let d = reduced_cost st y j in
+         let dir =
+           match status with
+           | At_lower -> if d < -.opt_tol then 1. else 0.
+           | At_upper -> if d > opt_tol then -1. else 0.
+           | Free_nonbasic ->
+             if d < -.opt_tol then 1. else if d > opt_tol then -1. else 0.
+           | Basic -> 0.
+         in
+         if dir <> 0. then
+           if st.bland then begin
+             best := Enter (j, dir);
+             raise Exit
+           end
+           else begin
+             let score = abs_float d in
+             if score > !best_score then begin
+               best_score := score;
+               best := Enter (j, dir)
+             end
+           end
+     done
+   with Exit -> ());
+  !best
+
+type ratio_result =
+  | Unbounded_dir
+  | Bound_flip of float
+  | Pivot of int * float * float (* leaving row, theta, target bound of leaver *)
+
+let ratio_test st enter dir w =
+  (* The entering variable increases by theta along [dir]; basic variable in
+     row i changes by [-dir * w_i * theta]. *)
+  let theta_own =
+    let range = st.ub.(enter) -. st.lb.(enter) in
+    if Float.is_finite range then range else infinity
+  in
+  let theta = ref theta_own in
+  let leave_row = ref (-1) in
+  let leave_bound = ref 0. in
+  let leave_piv = ref 0. in
+  for i = 0 to st.m - 1 do
+    let wi = Array.unsafe_get w i in
+    if abs_float wi > pivot_tol then begin
+      let bvar = st.basic.(i) in
+      let delta = dir *. wi in
+      let limit, bound =
+        if delta > 0. then
+          (* basic decreases toward its lower bound *)
+          if Float.is_finite st.lb.(bvar) then ((st.xval.(bvar) -. st.lb.(bvar)) /. delta, st.lb.(bvar))
+          else (infinity, 0.)
+        else if Float.is_finite st.ub.(bvar) then
+          ((st.xval.(bvar) -. st.ub.(bvar)) /. delta, st.ub.(bvar))
+        else (infinity, 0.)
+      in
+      let limit = max limit 0. in
+      if
+        limit < !theta -. 1e-12
+        || (limit <= !theta +. 1e-12 && !leave_row >= 0 && abs_float wi > abs_float !leave_piv)
+      then begin
+        theta := limit;
+        leave_row := i;
+        leave_bound := bound;
+        leave_piv := wi
+      end
+    end
+  done;
+  if Float.is_finite !theta then
+    if !leave_row < 0 then Bound_flip !theta else Pivot (!leave_row, !theta, !leave_bound)
+  else Unbounded_dir
+
+let apply_step st enter dir w theta =
+  if theta <> 0. then begin
+    for i = 0 to st.m - 1 do
+      let wi = Array.unsafe_get w i in
+      if wi <> 0. then begin
+        let bvar = st.basic.(i) in
+        st.xval.(bvar) <- st.xval.(bvar) -. (theta *. dir *. wi)
+      end
+    done;
+    st.xval.(enter) <- st.xval.(enter) +. (theta *. dir)
+  end
+
+let update_binv st r w =
+  let m = st.m in
+  let piv = w.(r) in
+  let base_r = r * m in
+  for k = 0 to m - 1 do
+    Array.unsafe_set st.binv (base_r + k) (Array.unsafe_get st.binv (base_r + k) /. piv)
+  done;
+  for i = 0 to m - 1 do
+    if i <> r then begin
+      let f = Array.unsafe_get w i in
+      if f <> 0. then begin
+        let base_i = i * m in
+        for k = 0 to m - 1 do
+          Array.unsafe_set st.binv (base_i + k)
+            (Array.unsafe_get st.binv (base_i + k)
+            -. (f *. Array.unsafe_get st.binv (base_r + k)))
+        done
+      end
+    end
+  done
+
+exception Numerical_restart
+
+let pivot st enter dir w = function
+  | Bound_flip theta ->
+    apply_step st enter dir w theta;
+    st.vstat.(enter) <- (if dir > 0. then At_upper else At_lower);
+    (* Snap to the exact bound to stop error accumulation. *)
+    st.xval.(enter) <- (if dir > 0. then st.ub.(enter) else st.lb.(enter));
+    theta
+  | Pivot (r, theta, bound) ->
+    if abs_float w.(r) < pivot_tol then raise Numerical_restart;
+    apply_step st enter dir w theta;
+    let leaver = st.basic.(r) in
+    st.vstat.(leaver) <-
+      (if Float.is_finite bound then if bound = st.lb.(leaver) then At_lower else At_upper
+       else Free_nonbasic);
+    st.xval.(leaver) <- bound;
+    st.basic.(r) <- enter;
+    st.vstat.(enter) <- Basic;
+    update_binv st r w;
+    theta
+  | Unbounded_dir -> invalid_arg "pivot: unbounded"
+
+(* Run simplex iterations with the current [st.cost] until optimal, unbounded,
+   or iteration budget exhausted. *)
+type phase_outcome = Phase_optimal | Phase_unbounded | Phase_iterlimit
+
+let run_phase st ~max_iterations =
+  let y = Array.make st.m 0. in
+  let w = st.work in
+  let check_interval = 128 in
+  let rec loop () =
+    if st.iterations >= max_iterations then Phase_iterlimit
+    else begin
+      if st.iterations mod check_interval = check_interval - 1 then begin
+        let drift = recompute_basics st in
+        if drift > 1e-6 then ignore (refactorise st)
+      end;
+      duals st y;
+      match price st y with
+      | No_candidate ->
+        if st.bland then begin
+          (* Re-verify optimality with a fresh factorisation: Bland mode may
+             have been running on a drifted inverse. *)
+          ignore (refactorise st);
+          st.bland <- false;
+          duals st y;
+          match price st y with No_candidate -> Phase_optimal | Enter _ -> loop ()
+        end
+        else Phase_optimal
+      | Enter (j, dir) ->
+        ftran st j w;
+        (match ratio_test st j dir w with
+        | Unbounded_dir -> Phase_unbounded
+        | step ->
+          let theta =
+            try pivot st j dir w step
+            with Numerical_restart ->
+              ignore (refactorise st);
+              0.
+          in
+          st.iterations <- st.iterations + 1;
+          if theta <= 1e-10 then begin
+            st.degenerate_run <- st.degenerate_run + 1;
+            if st.degenerate_run > 100 then st.bland <- true
+          end
+          else begin
+            st.degenerate_run <- 0;
+            st.bland <- false
+          end;
+          loop ())
+    end
+  in
+  loop ()
+
+let initial_state (p : Problem.t) =
+  let m = p.Problem.nrows in
+  let ncols = p.Problem.ncols in
+  let n = ncols + m in
+  let lb = Array.make n 0. and ub = Array.make n infinity in
+  Array.blit p.Problem.lb 0 lb 0 ncols;
+  Array.blit p.Problem.ub 0 ub 0 ncols;
+  let xval = Array.make n 0. in
+  let vstat = Array.make n At_lower in
+  for j = 0 to ncols - 1 do
+    if Float.is_finite lb.(j) then begin
+      vstat.(j) <- At_lower;
+      xval.(j) <- lb.(j)
+    end
+    else if Float.is_finite ub.(j) then begin
+      vstat.(j) <- At_upper;
+      xval.(j) <- ub.(j)
+    end
+    else begin
+      vstat.(j) <- Free_nonbasic;
+      xval.(j) <- 0.
+    end
+  done;
+  let art_sign = Array.make m 1. in
+  let st =
+    {
+      p;
+      n;
+      m;
+      lb;
+      ub;
+      art_sign;
+      cost = Array.make n 0.;
+      basic = Array.init m (fun i -> ncols + i);
+      vstat;
+      xval;
+      binv = Array.make (m * m) 0.;
+      work = Array.make m 0.;
+      bland = false;
+      degenerate_run = 0;
+      iterations = 0;
+    }
+  in
+  (* Start from the slack basis where the slack bounds admit the residual;
+     use an artificial (with a sign making its value >= 0) elsewhere. *)
+  let r = Array.make m 0. in
+  residual st r;
+  for i = 0 to m - 1 do
+    let slack = p.Problem.nstruct + i in
+    let aj = ncols + i in
+    if r.(i) >= lb.(slack) -. 1e-12 && r.(i) <= ub.(slack) +. 1e-12 then begin
+      st.basic.(i) <- slack;
+      vstat.(slack) <- Basic;
+      xval.(slack) <- r.(i);
+      st.binv.((i * m) + i) <- 1.;
+      (* This row needs no artificial: pin it. *)
+      st.lb.(aj) <- 0.;
+      st.ub.(aj) <- 0.;
+      vstat.(aj) <- At_lower;
+      xval.(aj) <- 0.
+    end
+    else begin
+      let sign = if r.(i) >= 0. then 1. else -1. in
+      art_sign.(i) <- sign;
+      st.binv.((i * m) + i) <- sign;
+      vstat.(aj) <- Basic;
+      xval.(aj) <- abs_float r.(i)
+    end
+  done;
+  st
+
+let solve ?max_iterations (p : Problem.t) =
+  let st = initial_state p in
+  let max_iterations =
+    match max_iterations with Some k -> k | None -> (20 * (st.m + st.n)) + 10_000
+  in
+  (* Phase 1. *)
+  for i = 0 to st.m - 1 do
+    st.cost.(p.Problem.ncols + i) <- 1.
+  done;
+  let finish status =
+    let x = Array.sub st.xval 0 p.Problem.ncols in
+    let objective =
+      let acc = ref 0. in
+      for j = 0 to p.Problem.ncols - 1 do
+        acc := !acc +. (p.Problem.obj.(j) *. x.(j))
+      done;
+      !acc
+    in
+    { Problem.status; x; objective; iterations = st.iterations }
+  in
+  match run_phase st ~max_iterations with
+  | Phase_unbounded ->
+    (* Phase 1 objective is bounded below by 0; unboundedness is numerical. *)
+    finish Problem.Infeasible
+  | Phase_iterlimit -> finish Problem.Iteration_limit
+  | Phase_optimal ->
+    let art_sum = ref 0. in
+    for i = 0 to st.m - 1 do
+      art_sum := !art_sum +. abs_float st.xval.(p.Problem.ncols + i)
+    done;
+    if !art_sum > feas_tol *. float_of_int (st.m + 1) then finish Problem.Infeasible
+    else begin
+      (* Pin artificials to zero and switch to the real objective. *)
+      for i = 0 to st.m - 1 do
+        let aj = p.Problem.ncols + i in
+        st.lb.(aj) <- 0.;
+        st.ub.(aj) <- 0.;
+        if st.vstat.(aj) <> Basic then begin
+          st.vstat.(aj) <- At_lower;
+          st.xval.(aj) <- 0.
+        end
+      done;
+      let cost = Array.make st.n 0. in
+      Array.blit p.Problem.obj 0 cost 0 p.Problem.ncols;
+      st.cost <- cost;
+      st.bland <- false;
+      st.degenerate_run <- 0;
+      match run_phase st ~max_iterations with
+      | Phase_optimal ->
+        ignore (recompute_basics st);
+        (* Clean tiny values. *)
+        for j = 0 to st.n - 1 do
+          if abs_float st.xval.(j) < zero_tol then st.xval.(j) <- 0.
+        done;
+        finish Problem.Optimal
+      | Phase_unbounded -> finish Problem.Unbounded
+      | Phase_iterlimit -> finish Problem.Iteration_limit
+    end

@@ -1,0 +1,15 @@
+(** Bounded-variable revised primal simplex.
+
+    Two phases: phase 1 minimises the sum of artificial variables (one per
+    row) to find a feasible basis; phase 2 minimises the real objective. The
+    basis inverse is maintained as an explicit dense matrix updated by eta
+    transformations, with on-demand refactorisation when numerical drift is
+    detected. Dantzig pricing with a Bland's-rule fallback guards against
+    cycling. Suited to the mid-size sparse problems produced by the FFC
+    formulations (up to a few thousand rows). *)
+
+val solve : ?max_iterations:int -> Problem.t -> Problem.result
+(** Solve a problem. [max_iterations] defaults to [20 * (nrows + ncols) +
+    10_000]. The returned [x] has an entry for every column (structural and
+    slack) and satisfies all constraints to within [1e-6] when the status is
+    [Optimal]. *)

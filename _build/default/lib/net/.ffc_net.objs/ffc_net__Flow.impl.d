@@ -1,0 +1,1 @@
+lib/net/flow.ml: Hashtbl List Option Topology Tunnel

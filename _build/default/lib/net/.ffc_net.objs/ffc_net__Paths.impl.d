@@ -1,0 +1,1 @@
+lib/net/paths.ml: Array Hashtbl List Option Set Topology Tunnel

@@ -1,0 +1,1 @@
+lib/net/topo_gen.ml: Array Ffc_util List Printf Topology

@@ -1,0 +1,1 @@
+lib/net/traffic.ml: Array Ffc_util Float Flow List Option Paths Topology

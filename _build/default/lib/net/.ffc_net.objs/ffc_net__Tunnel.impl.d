@@ -1,0 +1,1 @@
+lib/net/tunnel.ml: Format Hashtbl List String Topology

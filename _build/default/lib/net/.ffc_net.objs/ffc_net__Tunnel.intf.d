@@ -1,0 +1,1 @@
+lib/net/tunnel.mli: Format Topology

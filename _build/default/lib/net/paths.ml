@@ -1,0 +1,169 @@
+(* Dijkstra with a simple pairing of (distance, switch) in a sorted set used
+   as a priority queue; topologies here are small (tens of switches), so
+   asymptotics are not a concern, correctness and clarity are. *)
+
+module Pq = Set.Make (struct
+  type t = float * int
+
+  let compare = compare
+end)
+
+let default_metric (_ : Topology.link) = 1.
+
+let shortest ?(metric = default_metric) ?(banned_links = fun _ -> false)
+    ?(banned_switches = fun _ -> false) topo src dst =
+  if banned_switches src || banned_switches dst then None
+  else begin
+    let n = Topology.num_switches topo in
+    let dist = Array.make n infinity in
+    let pred = Array.make n None in
+    dist.(src) <- 0.;
+    let q = ref (Pq.singleton (0., src)) in
+    let finished = Array.make n false in
+    while not (Pq.is_empty !q) do
+      let ((d, u) as elt) = Pq.min_elt !q in
+      q := Pq.remove elt !q;
+      if not finished.(u) then begin
+        finished.(u) <- true;
+        List.iter
+          (fun (l : Topology.link) ->
+            let v = l.Topology.dst in
+            if
+              (not (banned_links l.Topology.id))
+              && (not (banned_switches v))
+              && not finished.(v)
+            then begin
+              let w = metric l in
+              if w < 0. then invalid_arg "Paths: negative metric";
+              let nd = d +. w in
+              if nd < dist.(v) -. 1e-12 then begin
+                dist.(v) <- nd;
+                pred.(v) <- Some l;
+                q := Pq.add (nd, v) !q
+              end
+            end)
+          (Topology.out_links topo u)
+      end
+    done;
+    if dist.(dst) = infinity then None
+    else begin
+      let rec walk v acc =
+        match pred.(v) with
+        | None -> acc
+        | Some l -> walk l.Topology.src (l :: acc)
+      in
+      Some (walk dst [])
+    end
+  end
+
+let path_cost metric path = List.fold_left (fun acc l -> acc +. metric l) 0. path
+
+let path_switches path =
+  match path with
+  | [] -> []
+  | (first : Topology.link) :: _ ->
+    first.Topology.src :: List.map (fun (l : Topology.link) -> l.Topology.dst) path
+
+let same_path a b =
+  List.length a = List.length b
+  && List.for_all2 (fun (x : Topology.link) (y : Topology.link) -> x.Topology.id = y.Topology.id) a b
+
+let k_shortest ?(metric = default_metric) topo src dst ~k =
+  if k <= 0 then []
+  else
+    match shortest ~metric topo src dst with
+    | None -> []
+    | Some first ->
+      let accepted = ref [ first ] in
+      let candidates = ref [] in
+      (* Candidate pool as (cost, path) list kept sorted lazily. *)
+      let add_candidate path =
+        if
+          (not (List.exists (fun (_, p) -> same_path p path) !candidates))
+          && not (List.exists (same_path path) !accepted)
+        then candidates := (path_cost metric path, path) :: !candidates
+      in
+      let rec take_prefix i path =
+        if i = 0 then []
+        else
+          match path with [] -> [] | l :: tl -> l :: take_prefix (i - 1) tl
+      in
+      let continue = ref true in
+      while List.length !accepted < k && !continue do
+        let prev = List.hd !accepted in
+        (* Spur from every node of the most recent accepted path. *)
+        List.iteri
+          (fun i _spur_link ->
+            let root = take_prefix i prev in
+            let root_switches = path_switches root in
+            let spur_node =
+              match List.rev root with
+              | [] -> src
+              | last :: _ -> last.Topology.dst
+            in
+            (* Ban links used by previously accepted paths sharing this
+               root, and ban root switches except the spur node. *)
+            let banned_link_ids =
+              List.filter_map
+                (fun p ->
+                  if same_path (take_prefix i p) root then
+                    List.nth_opt p i |> Option.map (fun (l : Topology.link) -> l.Topology.id)
+                  else None)
+                !accepted
+            in
+            let banned_switch_list =
+              List.filter (fun v -> v <> spur_node) root_switches
+            in
+            match
+              shortest ~metric
+                ~banned_links:(fun id -> List.mem id banned_link_ids)
+                ~banned_switches:(fun v -> List.mem v banned_switch_list)
+                topo spur_node dst
+            with
+            | None -> ()
+            | Some spur -> add_candidate (root @ spur))
+          prev;
+        match List.sort (fun (c1, _) (c2, _) -> compare c1 c2) !candidates with
+        | [] -> continue := false
+        | (_, best) :: rest ->
+          candidates := rest;
+          accepted := !accepted @ [ best ]
+      done;
+      !accepted
+
+let pq_disjoint ?(metric = default_metric) topo src dst ~k ~p ~q =
+  if p < 1 || q < 1 then invalid_arg "Paths.pq_disjoint: p and q must be >= 1";
+  let link_use = Hashtbl.create 32 and switch_use = Hashtbl.create 32 in
+  let count tbl key = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+  let bump tbl key = Hashtbl.replace tbl key (1 + count tbl key) in
+  let rec go k acc =
+    if k = 0 then List.rev acc
+    else
+      (* Prefer unused links strongly so that paths spread, while staying
+         within (p, q) budgets. *)
+      let banned_links id = count link_use id >= p in
+      let banned_switches v = v <> src && v <> dst && count switch_use v >= q in
+      let weighted l =
+        metric l *. (1. +. (4. *. float_of_int (count link_use l.Topology.id)))
+      in
+      match shortest ~metric:weighted ~banned_links ~banned_switches topo src dst with
+      | None -> List.rev acc
+      | Some path ->
+        if List.exists (same_path path) acc then List.rev acc
+        else begin
+          List.iter (fun (l : Topology.link) -> bump link_use l.Topology.id) path;
+          List.iter (fun v -> if v <> src && v <> dst then bump switch_use v)
+            (path_switches path);
+          go (k - 1) (path :: acc)
+        end
+  in
+  go k []
+
+let tunnels_for ?metric ?(p = 1) ?(q = 3) topo ~next_id src dst ~k =
+  let paths = pq_disjoint ?metric topo src dst ~k ~p ~q in
+  List.map
+    (fun path ->
+      let id = !next_id in
+      incr next_id;
+      Tunnel.create ~id path)
+    paths

@@ -1,0 +1,55 @@
+(** Path computation: Dijkstra shortest paths, Yen's k-shortest paths, and
+    the paper's (p, q) link-switch disjoint tunnel layout (§4.3).
+
+    Paths are represented as link lists in path order, compatible with
+    {!Tunnel.create}. The default metric is hop count; pass
+    [~metric:(fun l -> l.delay_ms)] for latency-based layout. *)
+
+val shortest :
+  ?metric:(Topology.link -> float) ->
+  ?banned_links:(int -> bool) ->
+  ?banned_switches:(Topology.switch -> bool) ->
+  Topology.t ->
+  Topology.switch ->
+  Topology.switch ->
+  Topology.link list option
+(** Dijkstra. Banned switches may not appear anywhere on the path (a banned
+    source or destination makes the result [None]). *)
+
+val k_shortest :
+  ?metric:(Topology.link -> float) ->
+  Topology.t ->
+  Topology.switch ->
+  Topology.switch ->
+  k:int ->
+  Topology.link list list
+(** Yen's algorithm; returns up to [k] loop-free paths in non-decreasing
+    metric order. *)
+
+val pq_disjoint :
+  ?metric:(Topology.link -> float) ->
+  Topology.t ->
+  Topology.switch ->
+  Topology.switch ->
+  k:int ->
+  p:int ->
+  q:int ->
+  Topology.link list list
+(** Up to [k] paths such that no link is shared by more than [p] of them and
+    no intermediate switch by more than [q] (the paper's recommended robust
+    tunnel layout). Greedy: repeatedly take the shortest path that does not
+    violate the budgets; stops early when none exists. *)
+
+val tunnels_for :
+  ?metric:(Topology.link -> float) ->
+  ?p:int ->
+  ?q:int ->
+  Topology.t ->
+  next_id:int ref ->
+  Topology.switch ->
+  Topology.switch ->
+  k:int ->
+  Tunnel.t list
+(** Convenience wrapper building {!Tunnel.t} values with fresh ids from
+    [next_id] using {!pq_disjoint} (defaults [p = 1], [q = 3], the paper's
+    experimental setting). *)

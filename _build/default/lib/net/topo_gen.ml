@@ -1,0 +1,114 @@
+module Rng = Ffc_util.Rng
+
+let distance (x1, y1) (x2, y2) = sqrt (((x1 -. x2) ** 2.) +. ((y1 -. y2) ** 2.))
+
+(* Propagation delay for a unit-square distance, scaled so that crossing the
+   square is ~60 ms (roughly trans-continental fibre). *)
+let delay_of_distance d = max 0.5 (60. *. d)
+
+let lnet ?(sites = 20) ?(extra_edge_prob = 0.9) rng =
+  if sites < 2 then invalid_arg "Topo_gen.lnet";
+  let topo = Topology.create sites in
+  let pos = Array.init sites (fun _ -> (Rng.float rng 1., Rng.float rng 1.)) in
+  let capacity () = if Rng.bernoulli rng 0.3 then 100. else 40. in
+  let connect u v =
+    let d = distance pos.(u) pos.(v) in
+    ignore (Topology.add_duplex ~delay_ms:(delay_of_distance d) topo u v (capacity ()))
+  in
+  (* Random spanning tree: attach each new site to a random earlier one,
+     preferring nearby sites. *)
+  for v = 1 to sites - 1 do
+    let best = ref 0 and best_d = ref infinity in
+    for _try = 0 to 2 do
+      let u = Rng.int rng v in
+      let d = distance pos.(u) pos.(v) in
+      if d < !best_d then begin
+        best := u;
+        best_d := d
+      end
+    done;
+    connect !best v
+  done;
+  (* Waxman-style extra edges: probability decays with distance. The real
+     L-Net is dense (O(1000) links on O(100) switches, i.e. average degree
+     ~10), which is what makes six link-disjoint tunnels per flow possible;
+     the decay constant is chosen to land near that regime. *)
+  for u = 0 to sites - 1 do
+    for v = u + 1 to sites - 1 do
+      if Topology.find_link topo u v = None then begin
+        let d = distance pos.(u) pos.(v) in
+        let p = extra_edge_prob *. exp (-.d /. 0.7) in
+        if Rng.bernoulli rng p then connect u v
+      end
+    done
+  done;
+  topo
+
+(* B4-like 12-site map: sites 0-5 North America, 6-8 Europe, 9-11 Asia, with
+   19 site-level adjacencies. *)
+let snet_site_edges =
+  [
+    (0, 1, 5.); (0, 2, 20.); (1, 2, 20.); (1, 3, 22.); (2, 3, 5.); (2, 4, 18.);
+    (3, 5, 18.); (4, 5, 5.); (4, 6, 40.); (5, 7, 42.); (6, 7, 6.); (6, 8, 8.);
+    (7, 8, 7.); (0, 9, 50.); (1, 10, 52.); (9, 10, 10.); (10, 11, 12.); (9, 11, 11.);
+    (4, 7, 41.);
+  ]
+
+let snet_site_names =
+  [| "us-w1"; "us-w2"; "us-c1"; "us-c2"; "us-e1"; "us-e2"; "eu-1"; "eu-2"; "eu-3";
+     "asia-1"; "asia-2"; "asia-3" |]
+
+(* S-Net per the paper's §8.1 assumption: two switches per site and each
+   site-level link made of four 10 Gbps switch-level links (one per
+   inter-site switch pair), plus a high-capacity intra-site link pair. This
+   parallel-path structure is what gives flows six (1,3)-disjoint tunnels. *)
+let snet () =
+  let nsites = Array.length snet_site_names in
+  let names =
+    Array.init (2 * nsites) (fun i ->
+        Printf.sprintf "%s-%c" snet_site_names.(i / 2) (if i mod 2 = 0 then 'a' else 'b'))
+  in
+  let topo = Topology.create ~names (2 * nsites) in
+  for s = 0 to nsites - 1 do
+    ignore (Topology.add_duplex ~delay_ms:0.2 topo (2 * s) ((2 * s) + 1) 80.)
+  done;
+  List.iter
+    (fun (u, v, delay_ms) ->
+      for i = 0 to 1 do
+        for j = 0 to 1 do
+          ignore (Topology.add_duplex ~delay_ms topo ((2 * u) + i) ((2 * v) + j) 10.)
+        done
+      done)
+    snet_site_edges;
+  topo
+
+let fig2 () =
+  let topo = Topology.create 4 in
+  (* s1 = 0, s2 = 1, s3 = 2, s4 = 3. *)
+  List.iter
+    (fun (u, v) -> ignore (Topology.add_duplex topo u v 10.))
+    [ (1, 0); (2, 0); (0, 3); (1, 3); (2, 3) ];
+  topo
+
+let fig3 () =
+  let topo = Topology.create 4 in
+  (* s1 = 0, s2 = 1, s3 = 2, s4 = 3. *)
+  List.iter
+    (fun (u, v) -> ignore (Topology.add_duplex topo u v 10.))
+    [ (0, 1); (0, 2); (0, 3); (1, 3); (2, 3) ];
+  topo
+
+let testbed () =
+  (* 8 sites over 4 continents (Figure 9); all links 1 Gbps. Delays are
+     representative one-way WAN latencies in ms. *)
+  let names = [| "s1"; "s2"; "s3"; "s4"; "s5"; "s6"; "s7"; "s8" |] in
+  let topo = Topology.create ~names 8 in
+  let edges =
+    [
+      (0, 1, 20.); (0, 2, 35.); (1, 3, 30.); (2, 3, 25.); (2, 4, 10.); (2, 5, 40.);
+      (3, 4, 18.); (3, 5, 38.); (4, 5, 45.); (5, 6, 15.); (4, 6, 55.); (6, 7, 22.);
+      (5, 7, 28.);
+    ]
+  in
+  List.iter (fun (u, v, d) -> ignore (Topology.add_duplex ~delay_ms:d topo u v 1.)) edges;
+  topo

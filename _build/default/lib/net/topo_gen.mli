@@ -1,0 +1,36 @@
+(** Topology generators: the synthetic L-Net-like WAN, the B4-like S-Net,
+    the paper's worked micro-examples (Figures 2-5), and the 8-site testbed
+    of §7.
+
+    Scale note (documented in DESIGN.md): the real L-Net has O(100) switches
+    and O(1000) links; the default here is ~20 switches so that the hundreds
+    of LP solves in the benchmark harness complete in CI time. Pass larger
+    [sites] to approach paper scale. *)
+
+val lnet : ?sites:int -> ?extra_edge_prob:float -> Ffc_util.Rng.t -> Topology.t
+(** Synthetic wide-area network in the style of the paper's L-Net: sites
+    placed in the unit square, connected by a random spanning tree plus
+    Waxman-style distance-biased extra edges; duplex links with
+    heterogeneous capacities (40/100 Gbps) and distance-based delays.
+    Default 20 sites. *)
+
+val snet : unit -> Topology.t
+(** The 12-site S-Net modelled on B4's published site-level topology
+    (SIGCOMM'13): 12 sites across the US, Europe and Asia with 19 duplex
+    site-level adjacencies, expanded per the paper's §8.1 assumption into
+    two switches per site with four parallel 10 Gbps switch-level links per
+    site adjacency (switch [2s] is site [s]'s 'a' switch, [2s+1] its 'b'
+    switch; sites are joined internally by an 80 Gbps link pair). *)
+
+val fig2 : unit -> Topology.t
+(** Figure 2/4 micro-example: 4 switches; flows s2->s4 and s3->s4 can use
+    direct links or detour via s1. All links 10 units. *)
+
+val fig3 : unit -> Topology.t
+(** Figure 3/5 micro-example: 4 switches; flows s1->{s2,s3}, {s2,s3}->s4 and
+    a new flow s1->s4. All links 10 units. *)
+
+val testbed : unit -> Topology.t
+(** The §7 testbed: 8 WAN sites across 4 continents, 1 Gbps links, delays
+    derived from geographic distance. Switch indices 0..7 are s1..s8; the TE
+    controller sits at s5 (New York). *)

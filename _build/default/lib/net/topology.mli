@@ -1,0 +1,53 @@
+(** Directed network topology: switches and capacitated links.
+
+    Switches are dense integer identifiers [0 .. num_switches-1]; links are
+    dense identifiers as well, so per-switch and per-link state elsewhere in
+    the repository can live in flat arrays. Capacities are in Gbps and
+    propagation delays in milliseconds (used by the failure-reaction
+    simulator). *)
+
+type switch = int
+
+type link = private {
+  id : int;
+  src : switch;
+  dst : switch;
+  capacity : float; (* Gbps *)
+  delay_ms : float; (* one-way propagation delay *)
+}
+
+type t
+
+val create : ?names:string array -> int -> t
+(** [create n] makes a topology with [n] switches and no links. [names]
+    (optional, length [n]) gives human-readable switch names. *)
+
+val add_link : ?delay_ms:float -> t -> switch -> switch -> float -> link
+(** [add_link t u v cap] adds a directed link [u -> v]. Default delay 1 ms.
+    Raises [Invalid_argument] on self-loops, bad switch ids, non-positive
+    capacity, or duplicate [u -> v] links. *)
+
+val add_duplex : ?delay_ms:float -> t -> switch -> switch -> float -> link * link
+(** Both directions with the same capacity/delay. *)
+
+val num_switches : t -> int
+val num_links : t -> int
+
+val links : t -> link array
+(** All links, indexed by [link.id]. Fresh array; cheap enough for the sizes
+    used here. *)
+
+val link : t -> int -> link
+val find_link : t -> switch -> switch -> link option
+val out_links : t -> switch -> link list
+val in_links : t -> switch -> link list
+val switch_name : t -> switch -> string
+val switches : t -> switch list
+
+val fibres : t -> int list list
+(** Undirected fibre groups: each group lists the directed link ids that
+    share a physical fibre (a link and its reverse, when present) and
+    therefore fail together. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line dump: one link per line. *)

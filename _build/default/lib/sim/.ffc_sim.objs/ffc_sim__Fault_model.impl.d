@@ -1,0 +1,1 @@
+lib/sim/fault_model.ml: Array Ffc_net Ffc_util List Topology

@@ -1,0 +1,1 @@
+lib/sim/fault_model.mli: Ffc_net Ffc_util Topology

@@ -1,0 +1,1 @@
+lib/sim/interval_sim.ml: Array Basic_te Fault_model Ffc Ffc_core Ffc_net Ffc_util Flow Hashtbl List Loss Priority_te Rescale Te_types Topology Tunnel Update_model

@@ -1,0 +1,1 @@
+lib/sim/interval_sim.mli: Fault_model Ffc_core Ffc_util Update_model

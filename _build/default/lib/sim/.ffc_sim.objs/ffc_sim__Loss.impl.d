@@ -1,0 +1,1 @@
+lib/sim/loss.ml: Array Ffc_core Ffc_net Flow List Rescale Te_types Topology Tunnel

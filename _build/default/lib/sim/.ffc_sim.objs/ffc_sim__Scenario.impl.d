@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Basic_te Ffc_core Ffc_net Ffc_util Option Te_types Topo_gen Traffic

@@ -1,0 +1,1 @@
+lib/sim/scenario.mli: Ffc_core Ffc_net Ffc_util Traffic

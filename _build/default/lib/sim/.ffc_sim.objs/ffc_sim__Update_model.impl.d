@@ -1,0 +1,1 @@
+lib/sim/update_model.ml: Ffc_util

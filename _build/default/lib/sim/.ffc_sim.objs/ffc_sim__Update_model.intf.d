@@ -1,0 +1,1 @@
+lib/sim/update_model.mli: Ffc_util

@@ -1,0 +1,1 @@
+lib/sim/update_sim.ml: Ffc_util List Update_model

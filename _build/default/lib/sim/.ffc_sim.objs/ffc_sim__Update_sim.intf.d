@@ -1,0 +1,1 @@
+lib/sim/update_sim.mli: Ffc_util Update_model

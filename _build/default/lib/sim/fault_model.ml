@@ -1,0 +1,48 @@
+open Ffc_net
+module Rng = Ffc_util.Rng
+
+type kind = Link_down of int list | Switch_down of Topology.switch
+
+type fault = { time_s : float; kind : kind }
+
+type t = { link_fail_per_interval : float; switch_fail_per_interval : float }
+
+let fibres = Topology.fibres
+
+let lnet_like topo =
+  let nf = max 1 (List.length (fibres topo)) in
+  let ns = max 1 (Topology.num_switches topo) in
+  (* One link failure per 6 intervals network-wide; switch failures 20x
+     rarer network-wide. *)
+  {
+    link_fail_per_interval = 1. /. (6. *. float_of_int nf);
+    switch_fail_per_interval = 1. /. (120. *. float_of_int ns);
+  }
+
+let none = { link_fail_per_interval = 0.; switch_fail_per_interval = 0. }
+
+let sample rng ~interval_s topo t =
+  let faults = ref [] in
+  List.iter
+    (fun fibre ->
+      if Rng.bernoulli rng t.link_fail_per_interval then
+        faults := { time_s = Rng.float rng interval_s; kind = Link_down fibre } :: !faults)
+    (fibres topo);
+  List.iter
+    (fun v ->
+      if Rng.bernoulli rng t.switch_fail_per_interval then
+        faults := { time_s = Rng.float rng interval_s; kind = Switch_down v } :: !faults)
+    (Topology.switches topo);
+  List.sort (fun a b -> compare a.time_s b.time_s) !faults
+
+let forced_link_failures rng ~interval_s topo n =
+  let all = Array.of_list (fibres topo) in
+  Rng.sample_without_replacement rng n all
+  |> List.map (fun fibre -> { time_s = Rng.float rng interval_s; kind = Link_down fibre })
+  |> List.sort (fun a b -> compare a.time_s b.time_s)
+
+let forced_switch_failures rng ~interval_s topo n =
+  let all = Array.of_list (Topology.switches topo) in
+  Rng.sample_without_replacement rng n all
+  |> List.map (fun v -> { time_s = Rng.float rng interval_s; kind = Switch_down v })
+  |> List.sort (fun a b -> compare a.time_s b.time_s)

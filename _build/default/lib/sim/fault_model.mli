@@ -1,0 +1,41 @@
+(** Data-plane fault injection (§8.1).
+
+    Physical faults take down whole fibres (both directions of a duplex
+    link) or whole switches. Rates are calibrated to the paper's L-Net
+    observation — {e "a link fails every 30 minutes on average"}
+    network-wide — scaled to the topology at hand. Faults are sampled per
+    5-minute TE interval and repaired by the next interval (the TE interval
+    re-plans on the full topology; see DESIGN.md). *)
+
+open Ffc_net
+
+type kind =
+  | Link_down of int list  (** ids of all directed links of the failed fibre *)
+  | Switch_down of Topology.switch
+
+type fault = { time_s : float; kind : kind }
+
+type t = {
+  link_fail_per_interval : float;
+      (** probability that any given fibre fails during one interval *)
+  switch_fail_per_interval : float;
+}
+
+val lnet_like : Topology.t -> t
+(** One link failure per 30 min network-wide (one per 6 intervals), switch
+    failures 20x rarer, scaled by the number of fibres/switches. *)
+
+val none : t
+
+val fibres : Topology.t -> int list list
+(** Undirected fibre groups: each group lists the directed link ids that
+    fail together. *)
+
+val sample : Ffc_util.Rng.t -> interval_s:float -> Topology.t -> t -> fault list
+(** Random faults for one interval, sorted by time. *)
+
+val forced_link_failures : Ffc_util.Rng.t -> interval_s:float -> Topology.t -> int -> fault list
+(** Exactly [n] distinct fibre failures at uniform times (the Figure 1
+    forced-fault experiments). *)
+
+val forced_switch_failures : Ffc_util.Rng.t -> interval_s:float -> Topology.t -> int -> fault list

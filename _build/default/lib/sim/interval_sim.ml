@@ -1,0 +1,282 @@
+open Ffc_net
+open Ffc_core
+module Rng = Ffc_util.Rng
+
+type mode = Reactive | Proactive of (int -> Ffc.config)
+
+type config = {
+  mode : mode;
+  interval_s : float;
+  detect_s : float;
+  notify_s : float;
+  compute_s : float;
+  update_model : Update_model.t;
+  fault_model : Fault_model.t;
+  forced_faults : (Rng.t -> int -> Fault_model.fault list) option;
+}
+
+let default_config ~mode ~update_model fault_model =
+  {
+    mode;
+    interval_s = 300.;
+    detect_s = 0.005;
+    notify_s = 0.05;
+    compute_s = 0.5;
+    update_model;
+    fault_model;
+    forced_faults = None;
+  }
+
+type class_stats = {
+  offered_gb : float;
+  granted_gb : float;
+  delivered_gb : float;
+  lost_congestion_gb : float;
+  lost_blackhole_gb : float;
+}
+
+type interval_stats = {
+  per_class : class_stats array;
+  max_oversub_pct : float;
+  control_faults : int;
+  data_faults : int;
+  reacted : bool;
+}
+
+let total_lost s =
+  Array.fold_left
+    (fun acc c -> acc +. c.lost_congestion_gb +. c.lost_blackhole_gb)
+    0. s.per_class
+
+let total_delivered s = Array.fold_left (fun acc c -> acc +. c.delivered_gb) 0. s.per_class
+
+(* TE target for this interval. On solver trouble we keep the previous
+   allocation (a real controller would too). *)
+let compute_target cfg (input : Te_types.input) ~prev =
+  match cfg.mode with
+  | Reactive -> ( match Basic_te.solve input with Ok a -> a | Error _ -> prev)
+  | Proactive config_of -> (
+    match Priority_te.solve ~config_of ~prev input with
+    | Ok (a, _) -> a
+    | Error _ -> prev)
+
+(* Protection edges for the proactive reaction rule: react when the
+   cumulative number of data-plane faults reaches the smallest protection
+   level across classes (the controller must restore headroom). *)
+let protection_edge cfg (input : Te_types.input) =
+  match cfg.mode with
+  | Reactive -> (0, 0)
+  | Proactive config_of ->
+    let classes = Priority_te.priorities input in
+    List.fold_left
+      (fun (ke, kv) p ->
+        let prot = (config_of p).Ffc.protection in
+        (min ke prot.Te_types.ke, min kv prot.Te_types.kv))
+      (max_int, max_int) classes
+
+let reaction_delay rng cfg n_switches =
+  let worst = ref 0. in
+  let failed = ref false in
+  for _ = 1 to max 1 n_switches do
+    match Update_model.attempt_update rng cfg.update_model with
+    | Update_model.Failed -> failed := true
+    | Update_model.Completed d -> worst := max !worst d
+  done;
+  if !failed then infinity else cfg.compute_s +. !worst
+
+let run ~rng cfg (input : Te_types.input) ~demand_series =
+  (* Independent sub-streams so that the injected fault sequence is
+     identical across TE modes run from the same seed (the mode only
+     changes how many update/reaction samples are drawn). *)
+  let fault_rng = Rng.split rng in
+  let update_rng = Rng.split rng in
+  let nflows = Array.length input.Te_types.demands in
+  let nclasses = Loss.num_classes input in
+  let ingresses =
+    List.sort_uniq compare (List.map (fun (f : Flow.t) -> f.Flow.src) input.Te_types.flows)
+  in
+  let backlog = Array.make nflows 0. in
+  let installed = ref (Te_types.zero_allocation input) in
+  let results = ref [] in
+  Array.iteri
+    (fun interval_idx base_demands ->
+      let demands =
+        Array.init nflows (fun f -> base_demands.(f) +. (backlog.(f) /. cfg.interval_s))
+      in
+      let input_t = { input with Te_types.demands } in
+      let target = compute_target cfg input_t ~prev:!installed in
+      (* --- push the update; some ingresses may be stuck with old config --- *)
+      let changed v =
+        List.exists
+          (fun (f : Flow.t) ->
+            f.Flow.src = v
+            &&
+            let w_new = Te_types.weights target f.Flow.id in
+            let w_old = Te_types.weights !installed f.Flow.id in
+            Array.exists2 (fun a b -> abs_float (a -. b) > 1e-6) w_new w_old)
+          input.Te_types.flows
+      in
+      let stuck =
+        List.filter
+          (fun v ->
+            changed v
+            && Rng.bernoulli update_rng cfg.update_model.Update_model.config_fail_prob)
+          ingresses
+      in
+      let stuck_set v = List.mem v stuck in
+      let old_pseudo = !installed in
+      (* --- data-plane faults for this interval --- *)
+      let faults =
+        match cfg.forced_faults with
+        | Some gen -> gen fault_rng interval_idx
+        | None ->
+          Fault_model.sample fault_rng ~interval_s:cfg.interval_s input.Te_types.topo
+            cfg.fault_model
+      in
+      let failed_links = Hashtbl.create 8 and failed_switches = Hashtbl.create 4 in
+      let is_failed_link l = Hashtbl.mem failed_links l in
+      let is_failed_switch v = Hashtbl.mem failed_switches v in
+      let current_rates () =
+        Rescale.rescale input_t target ~stuck:stuck_set ~old_alloc:old_pseudo
+          ~failed_links:is_failed_link ~failed_switches:is_failed_switch ()
+      in
+      (* --- timeline --- *)
+      let lost_congestion = Array.make nclasses 0. in
+      let lost_blackhole = Array.make nclasses 0. in
+      let max_oversub = ref 0. in
+      let reacted = ref false in
+      let edge_ke, edge_kv = protection_edge cfg input in
+      let cum_link_faults = ref 0 and cum_switch_faults = ref 0 in
+      (* Time at which the controller's corrective update lands (congestion
+         assumed cleared from then until the next fault). *)
+      let reaction_done = ref infinity in
+      let schedule_reaction now =
+        reacted := true;
+        let d = reaction_delay update_rng cfg (List.length ingresses) in
+        let at = now +. cfg.detect_s +. cfg.notify_s +. d in
+        reaction_done := min at cfg.interval_s
+      in
+      let rates = ref (current_rates ()) in
+      (* Control-plane faults: if the mix congests, a reactive (or
+         beyond-protection) controller fixes it after a reaction delay. *)
+      let initial_congestion =
+        Array.fold_left ( +. ) 0. (Loss.congestion_rates input_t !rates.Rescale.tunnel_rates)
+      in
+      if initial_congestion > 1e-9 then schedule_reaction 0.;
+      (* Accrue loss over [t0, t1) for the current rates; congestion and
+         undeliverable traffic stop at [reaction_done]. *)
+      let accrue t0 t1 =
+        if t1 > t0 then begin
+          let lossy_until = min t1 (max t0 !reaction_done) in
+          let lossy_dur =
+            if !reaction_done >= t1 then t1 -. t0
+            else if !reaction_done <= t0 then 0.
+            else lossy_until -. t0
+          in
+          if lossy_dur > 0. then begin
+            let cong = Loss.congestion_rates input_t !rates.Rescale.tunnel_rates in
+            Array.iteri
+              (fun cls c -> lost_congestion.(cls) <- lost_congestion.(cls) +. (c *. lossy_dur))
+              cong;
+            let undeliv =
+              Loss.class_rate input_t (fun f -> !rates.Rescale.undeliverable.(f))
+            in
+            Array.iteri
+              (fun cls u -> lost_blackhole.(cls) <- lost_blackhole.(cls) +. (u *. lossy_dur))
+              undeliv;
+            max_oversub :=
+              max !max_oversub
+                (Loss.max_oversubscription input_t !rates.Rescale.tunnel_rates)
+          end
+        end
+      in
+      let cursor = ref 0. in
+      List.iter
+        (fun (fault : Fault_model.fault) ->
+          let t = min fault.Fault_model.time_s cfg.interval_s in
+          accrue !cursor t;
+          cursor := t;
+          (* Blackhole burst: traffic on the newly-dead tunnels until the
+             ingresses rescale. *)
+          let newly_dead l v =
+            match fault.Fault_model.kind with
+            | Fault_model.Link_down ids -> List.mem l ids && not (is_failed_link l)
+            | Fault_model.Switch_down s -> v = s
+          in
+          let burst = Array.make nclasses 0. in
+          List.iter
+            (fun (f : Flow.t) ->
+              let id = f.Flow.id in
+              List.iteri
+                (fun ti (tn : Tunnel.t) ->
+                  let r = !rates.Rescale.tunnel_rates.(id).(ti) in
+                  if
+                    r > 0.
+                    && List.exists
+                         (fun (l : Topology.link) ->
+                           newly_dead l.Topology.id l.Topology.src
+                           || newly_dead l.Topology.id l.Topology.dst)
+                         tn.Tunnel.links
+                  then burst.(f.Flow.priority) <- burst.(f.Flow.priority) +. r)
+                f.Flow.tunnels)
+            input.Te_types.flows;
+          let burst_dur = min (cfg.detect_s +. cfg.notify_s) (cfg.interval_s -. t) in
+          Array.iteri
+            (fun cls b -> lost_blackhole.(cls) <- lost_blackhole.(cls) +. (b *. burst_dur))
+            burst;
+          (* Apply the fault and rescale. *)
+          (match fault.Fault_model.kind with
+          | Fault_model.Link_down ids ->
+            incr cum_link_faults;
+            List.iter (fun l -> Hashtbl.replace failed_links l ()) ids
+          | Fault_model.Switch_down v ->
+            incr cum_switch_faults;
+            Hashtbl.replace failed_switches v ());
+          rates := current_rates ();
+          (* Fresh congestion re-arms the reaction decision. *)
+          (* React at the edge of protection (§8.1): a reactive controller on
+             every fault; a proactive one once cumulative faults reach the
+             smallest protection level of any class (or on any fault of an
+             unprotected kind). *)
+          let must_react =
+            match cfg.mode with
+            | Reactive -> true
+            | Proactive _ ->
+              !cum_link_faults >= max 1 edge_ke || !cum_switch_faults >= max 1 edge_kv
+          in
+          if must_react then schedule_reaction t)
+        faults;
+      accrue !cursor cfg.interval_s;
+      (* --- bookkeeping --- *)
+      let offered = Loss.class_rate input_t (fun f -> demands.(f)) in
+      let granted = Loss.class_rate input_t (fun f -> target.Te_types.bf.(f)) in
+      let per_class =
+        Array.init nclasses (fun cls ->
+            let granted_gb = granted.(cls) *. cfg.interval_s in
+            let lost = lost_congestion.(cls) +. lost_blackhole.(cls) in
+            {
+              offered_gb = offered.(cls) *. cfg.interval_s;
+              granted_gb;
+              delivered_gb = max 0. (granted_gb -. lost);
+              lost_congestion_gb = lost_congestion.(cls);
+              lost_blackhole_gb = lost_blackhole.(cls);
+            })
+      in
+      Array.iteri
+        (fun f d ->
+          backlog.(f) <- max 0. ((d -. target.Te_types.bf.(f)) *. cfg.interval_s))
+        demands;
+      (* Stuck switches are retried within the interval; assume the target
+         is fully installed by the next interval. *)
+      installed := target;
+      results :=
+        {
+          per_class;
+          max_oversub_pct = !max_oversub;
+          control_faults = List.length stuck;
+          data_faults = List.length faults;
+          reacted = !reacted;
+        }
+        :: !results)
+    demand_series;
+  List.rev !results

@@ -1,0 +1,68 @@
+(** The TE-interval event loop (§8.1/§8.3/§8.4).
+
+    Each 5-minute interval: compute a TE target (reactive basic TE, or
+    proactive FFC per priority class), push it to the ingress switches
+    (configuration attempts may fail — control-plane faults), then play out
+    randomly injected data-plane faults as a piecewise-constant timeline of
+    tunnel rates:
+
+    - a fault blackholes the traffic on its tunnels until detection +
+      notification, then ingresses rescale;
+    - a reactive controller recomputes and re-updates after every fault; a
+      proactive (FFC) one only at the edge of its protection level;
+    - congestion loss is priority-queue-aware traffic above capacity, for
+      as long as the oversubscription lasts.
+
+    Faults are repaired between intervals; unsatisfied demand carries over
+    to the next interval's demand (lost bytes are not re-offered — see
+    EXPERIMENTS.md for the deviations list). All randomness flows from the
+    caller's {!Ffc_util.Rng.t}. *)
+
+type mode =
+  | Reactive  (** non-FFC: basic TE + reaction to every fault *)
+  | Proactive of (int -> Ffc_core.Ffc.config)
+      (** FFC configuration per priority class *)
+
+type config = {
+  mode : mode;
+  interval_s : float;
+  detect_s : float;
+  notify_s : float;
+  compute_s : float;  (** controller TE computation time when reacting *)
+  update_model : Update_model.t;
+  fault_model : Fault_model.t;
+  forced_faults : (Ffc_util.Rng.t -> int -> Fault_model.fault list) option;
+      (** overrides random sampling (Figure 1 experiments); called with the
+          interval index *)
+}
+
+val default_config : mode:mode -> update_model:Update_model.t -> Fault_model.t -> config
+(** 300 s intervals, 5 ms detection, 50 ms notification, 500 ms compute. *)
+
+type class_stats = {
+  offered_gb : float;  (** demand x interval, gigabits *)
+  granted_gb : float;  (** admitted rate x interval *)
+  delivered_gb : float;  (** granted minus losses *)
+  lost_congestion_gb : float;
+  lost_blackhole_gb : float;
+}
+
+type interval_stats = {
+  per_class : class_stats array;
+  max_oversub_pct : float;
+  control_faults : int;
+  data_faults : int;
+  reacted : bool;
+}
+
+val total_lost : interval_stats -> float
+val total_delivered : interval_stats -> float
+
+val run :
+  rng:Ffc_util.Rng.t ->
+  config ->
+  Ffc_core.Te_types.input ->
+  demand_series:float array array ->
+  interval_stats list
+(** Run the engine over the series; [input.demands] is ignored in favour of
+    the series (plus carry-over). *)

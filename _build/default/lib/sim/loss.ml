@@ -1,0 +1,53 @@
+open Ffc_net
+open Ffc_core
+
+let num_classes (input : Te_types.input) =
+  1 + List.fold_left (fun acc (f : Flow.t) -> max acc f.Flow.priority) 0 input.Te_types.flows
+
+let loads_by_class (input : Te_types.input) rates =
+  let nc = num_classes input in
+  let nl = Topology.num_links input.Te_types.topo in
+  let loads = Array.make_matrix nc nl 0. in
+  List.iter
+    (fun (f : Flow.t) ->
+      let id = f.Flow.id in
+      let cls = f.Flow.priority in
+      List.iteri
+        (fun ti (t : Tunnel.t) ->
+          let r = rates.(id).(ti) in
+          if r > 0. then
+            List.iter
+              (fun (l : Topology.link) ->
+                loads.(cls).(l.Topology.id) <- loads.(cls).(l.Topology.id) +. r)
+              t.Tunnel.links)
+        f.Flow.tunnels)
+    input.Te_types.flows;
+  loads
+
+let congestion_rates (input : Te_types.input) rates =
+  let loads = loads_by_class input rates in
+  let nc = Array.length loads in
+  let dropped = Array.make nc 0. in
+  Array.iter
+    (fun (l : Topology.link) ->
+      let lid = l.Topology.id in
+      (* Serve classes high (0) to low; drops are what does not fit. *)
+      let remaining = ref l.Topology.capacity in
+      for cls = 0 to nc - 1 do
+        let load = loads.(cls).(lid) in
+        let served = min load !remaining in
+        remaining := !remaining -. served;
+        dropped.(cls) <- dropped.(cls) +. (load -. served)
+      done)
+    (Topology.links input.Te_types.topo);
+  dropped
+
+let class_rate (input : Te_types.input) rate_of_flow =
+  let out = Array.make (num_classes input) 0. in
+  List.iter
+    (fun (f : Flow.t) -> out.(f.Flow.priority) <- out.(f.Flow.priority) +. rate_of_flow f.Flow.id)
+    input.Te_types.flows;
+  out
+
+let max_oversubscription (input : Te_types.input) rates =
+  Te_types.max_oversubscription input (Rescale.loads input rates)

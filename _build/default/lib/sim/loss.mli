@@ -1,0 +1,25 @@
+(** Loss accounting (§8.1 metrics).
+
+    Congestion loss follows the paper's measure: traffic above link capacity
+    for the duration of the oversubscription. In multi-priority networks,
+    priority queueing serves higher classes first, so drops concentrate on
+    the lowest classes (§8.4). Blackhole loss is traffic sent into failed
+    tunnels between the failure and the ingress rescaling. *)
+
+val num_classes : Ffc_core.Te_types.input -> int
+(** [1 + max priority] over the input's flows. *)
+
+val loads_by_class : Ffc_core.Te_types.input -> float array array -> float array array
+(** [loads_by_class input rates] is a [class][link] load matrix from
+    per-flow tunnel rates. *)
+
+val congestion_rates : Ffc_core.Te_types.input -> float array array -> float array
+(** Gbps dropped per priority class under priority queueing, given tunnel
+    rates. Length {!num_classes}. *)
+
+val class_rate : Ffc_core.Te_types.input -> (int -> float) -> float array
+(** [class_rate input rate_of_flow] sums a per-flow rate into per-class
+    totals. *)
+
+val max_oversubscription : Ffc_core.Te_types.input -> float array array -> float
+(** Max relative link oversubscription (percent) given tunnel rates. *)

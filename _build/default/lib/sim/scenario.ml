@@ -1,0 +1,63 @@
+open Ffc_net
+open Ffc_core
+module Rng = Ffc_util.Rng
+
+type t = { name : string; input : Te_types.input; spec : Traffic.spec }
+
+(* Largest uniform demand scale at which basic TE satisfies [target]
+   (99%) of total demand: bisection on the (monotone) satisfaction ratio. *)
+let calibrate ?(target = 0.99) (input : Te_types.input) =
+  let satisfied scale =
+    let demands = Traffic.scale scale input.Te_types.demands in
+    match Basic_te.solve { input with Te_types.demands } with
+    | Ok alloc ->
+      let total = Traffic.total demands in
+      if total <= 0. then 1. else Te_types.throughput alloc /. total
+    | Error _ -> 0.
+  in
+  let lo = ref 0.05 and hi = ref 50. in
+  if satisfied !lo < target then !lo
+  else begin
+    for _ = 1 to 22 do
+      let mid = sqrt (!lo *. !hi) in
+      if satisfied mid >= target then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let build name topo spec =
+  let input =
+    { Te_types.topo; flows = spec.Traffic.flows; demands = spec.Traffic.base_demand }
+  in
+  let k = calibrate input in
+  let demands = Traffic.scale k input.Te_types.demands in
+  let spec = { spec with Traffic.base_demand = demands } in
+  { name; input = { input with Te_types.demands }; spec }
+
+let lnet_sim ?(sites = 20) ?nflows rng =
+  let topo = Topo_gen.lnet ~sites rng in
+  let nflows = Option.value nflows ~default:(2 * sites) in
+  let spec = Traffic.make_flows ~nflows rng topo in
+  build "L-Net" topo spec
+
+let snet ?(nflows = 30) rng =
+  let topo = Topo_gen.snet () in
+  (* Site-level demand: flows between the 'a' switches of distinct sites
+     (tunnels still fan out through both of each site's switches). *)
+  let allowed s d = s mod 2 = 0 && d mod 2 = 0 && s / 2 <> d / 2 in
+  let spec = Traffic.make_flows ~nflows ~allowed rng topo in
+  build "S-Net" topo spec
+
+let scaled t scale =
+  { t.input with Te_types.demands = Traffic.scale scale t.input.Te_types.demands }
+
+let demand_series rng t ~scale ~intervals =
+  let spec = { t.spec with Traffic.base_demand = Traffic.scale scale t.spec.Traffic.base_demand } in
+  Traffic.series rng ~intervals spec
+
+let with_priorities ~fractions t =
+  let spec = Traffic.split_priorities ~fractions t.spec in
+  let input =
+    { t.input with Te_types.flows = spec.Traffic.flows; demands = spec.Traffic.base_demand }
+  in
+  { t with input; spec }

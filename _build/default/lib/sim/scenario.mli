@@ -1,0 +1,34 @@
+(** Experiment assembly (§8.1): the two evaluation networks with
+    gravity-model flows, demand calibration to the "well-utilised" operating
+    point, traffic scaling and priority splitting.
+
+    Traffic scale 1 is calibrated so that basic TE satisfies 99% of demand
+    (the paper's well-utilised network); scales 0.5 and 2 model the
+    well-provisioned and under-provisioned networks. *)
+
+open Ffc_net
+
+type t = {
+  name : string;
+  input : Ffc_core.Te_types.input;  (** demands = calibrated scale-1 base *)
+  spec : Traffic.spec;
+}
+
+val lnet_sim : ?sites:int -> ?nflows:int -> Ffc_util.Rng.t -> t
+(** Synthetic L-Net-like WAN (see DESIGN.md scale note). Defaults: 20
+    sites, 2 flows per site. *)
+
+val snet : ?nflows:int -> Ffc_util.Rng.t -> t
+(** The B4-like 12-site S-Net. *)
+
+val scaled : t -> float -> Ffc_core.Te_types.input
+(** Input with demands at the given traffic scale. *)
+
+val demand_series :
+  Ffc_util.Rng.t -> t -> scale:float -> intervals:int -> float array array
+(** Per-interval demands with diurnal variation and noise at a traffic
+    scale. *)
+
+val with_priorities : fractions:float list -> t -> t
+(** Split each flow into one flow per priority class (§8.4); demands are
+    re-calibrated against the same total. *)

@@ -1,0 +1,35 @@
+(** Switch configuration-update behaviour (§2.3, Figure 6).
+
+    Two parametric models calibrated to the paper's measurements:
+    - {!realistic}: B4-like (paper Figure 6(a)) — seconds-scale RPC delay,
+      heavy-tailed per-rule update latency (median ~100 ms), and a 1%
+      outright configuration-failure rate;
+    - {!optimistic}: the controlled-lab measurement (Figure 6(b)) — no RPC
+      overhead modelled, per-rule median 10 ms with a 200 ms-scale tail, and
+      no failures.
+
+    A network update touches ~100 rules per switch (the paper's L-Net
+    figure), so total delay = RPC + switch_factor x (rules x per-rule),
+    where the per-switch factor captures straggling control planes. *)
+
+type t = {
+  name : string;
+  rpc_s : Ffc_util.Rng.t -> float;
+  per_rule_s : Ffc_util.Rng.t -> float;
+  switch_factor : Ffc_util.Rng.t -> float;
+      (** per-switch control-plane load multiplier (heavy-tailed); applied
+          to the whole rule batch, it models straggling switches *)
+  rules_per_update : int;
+  config_fail_prob : float;
+}
+
+val realistic : unit -> t
+val optimistic : unit -> t
+
+type attempt = Failed | Completed of float  (** total delay in seconds *)
+
+val attempt_update : Ffc_util.Rng.t -> t -> attempt
+(** One switch's attempt to apply a configuration update. *)
+
+val delay_sample : Ffc_util.Rng.t -> t -> float
+(** Unconditional total-delay sample (ignoring failures). *)

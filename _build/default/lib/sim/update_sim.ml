@@ -1,0 +1,42 @@
+module Rng = Ffc_util.Rng
+
+type config = {
+  steps : int;
+  switches_per_step : int;
+  kc : int;
+  update_model : Update_model.t;
+  max_time_s : float;
+}
+
+let completion_time rng cfg =
+  let budget = ref cfg.kc in
+  let t = ref 0. in
+  let stalled = ref false in
+  for _step = 1 to cfg.steps do
+    if not !stalled then begin
+      let delays = ref [] in
+      for _sw = 1 to cfg.switches_per_step do
+        match Update_model.attempt_update rng cfg.update_model with
+        | Update_model.Failed ->
+          (* A failed switch never acks; it consumes protection budget. *)
+          if !budget > 0 then decr budget else stalled := true
+        | Update_model.Completed d -> delays := d :: !delays
+      done;
+      if not !stalled then begin
+        (* The step proceeds once all but the remaining budget have acked:
+           wait for the (n - budget)-th fastest of the successful acks,
+           where stragglers beyond the budget may be left behind. *)
+        let sorted = List.sort compare !delays in
+        let n_done = List.length sorted in
+        let wait_for = max 0 (n_done - !budget) in
+        let step_time =
+          if wait_for = 0 then 0.
+          else List.nth sorted (wait_for - 1)
+        in
+        t := !t +. step_time
+      end
+    end
+  done;
+  if !stalled then cfg.max_time_s else min cfg.max_time_s !t
+
+let sample_completions rng cfg ~count = List.init count (fun _ -> completion_time rng cfg)

@@ -1,0 +1,22 @@
+(** Completion time of congestion-free multi-step updates (§8.5, Figure 16).
+
+    A multi-step update applies [steps] waves of switch updates; step [i+1]
+    may only start once step [i] is sufficiently acknowledged. Without FFC,
+    "sufficiently" means {e every} switch — one configuration failure or
+    straggler stalls the whole update (the paper's 40%-never-finish
+    observation under the Realistic model). With FFC tolerance [kc], each
+    step proceeds once all but [kc] switches acked, where configuration
+    failures count against the budget {e cumulatively} across steps. *)
+
+type config = {
+  steps : int;
+  switches_per_step : int;
+  kc : int;  (** 0 = non-FFC *)
+  update_model : Update_model.t;
+  max_time_s : float;  (** censoring cap (the TE interval, 300 s) *)
+}
+
+val completion_time : Ffc_util.Rng.t -> config -> float
+(** One update's completion time; [max_time_s] when the update stalls. *)
+
+val sample_completions : Ffc_util.Rng.t -> config -> count:int -> float list

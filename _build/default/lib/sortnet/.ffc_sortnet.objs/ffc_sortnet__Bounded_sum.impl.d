@@ -1,0 +1,1 @@
+lib/sortnet/bounded_sum.ml: Expr Ffc_lp List Model

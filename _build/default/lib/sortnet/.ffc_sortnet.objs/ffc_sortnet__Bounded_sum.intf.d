@@ -1,0 +1,1 @@
+lib/sortnet/bounded_sum.mli: Ffc_lp

@@ -1,0 +1,1 @@
+lib/sortnet/sorting_network.ml: Array List

@@ -1,0 +1,122 @@
+type t = { size : int; comparators : (int * int) list }
+
+let make size comparators =
+  List.iter
+    (fun (i, j) -> assert (0 <= i && i < j && j < size))
+    comparators;
+  { size; comparators }
+
+let bubble_passes n m =
+  (* Pass [s] (0-based) bubbles the maximum of wires [0 .. n-1-s] up to wire
+     [n-1-s]. *)
+  let pass s = List.init (n - 1 - s) (fun i -> (i, i + 1)) in
+  List.concat_map pass (List.init m (fun s -> s))
+
+let bubble n =
+  if n < 0 then invalid_arg "Sorting_network.bubble";
+  make n (bubble_passes n (max 0 (n - 1)))
+
+let partial_bubble n m =
+  if m < 0 || m > n then invalid_arg "Sorting_network.partial_bubble";
+  make n (bubble_passes n (min m (max 0 (n - 1))))
+
+let odd_even_mergesort n =
+  if n < 0 then invalid_arg "Sorting_network.odd_even_mergesort";
+  (* Generate for the next power of two; comparators touching wires >= n are
+     dropped, which is sound because a missing wire behaves as +infinity. *)
+  let p = ref 1 in
+  while !p < n do
+    p := !p * 2
+  done;
+  let comparators = ref [] in
+  let add i j = if j < n then comparators := (i, j) :: !comparators in
+  (* Iterative Batcher construction. *)
+  let rec merge lo cnt r =
+    let step = r * 2 in
+    if step < cnt then begin
+      merge lo cnt step;
+      merge (lo + r) cnt step;
+      let i = ref (lo + r) in
+      while !i + r < lo + cnt do
+        add !i (!i + r);
+        i := !i + step
+      done
+    end
+    else add lo (lo + r)
+  in
+  let rec sort lo cnt =
+    if cnt > 1 then begin
+      let half = cnt / 2 in
+      sort lo half;
+      sort (lo + half) half;
+      merge lo cnt 1
+    end
+  in
+  sort 0 !p;
+  make n (List.rev !comparators)
+
+let apply_gen ~cmp t xs =
+  if Array.length xs <> t.size then invalid_arg "Sorting_network.apply: size mismatch";
+  List.iter
+    (fun (i, j) ->
+      if cmp xs.(i) xs.(j) > 0 then begin
+        let tmp = xs.(i) in
+        xs.(i) <- xs.(j);
+        xs.(j) <- tmp
+      end)
+    t.comparators
+
+let apply t xs = apply_gen ~cmp:compare t xs
+
+let num_comparators t = List.length t.comparators
+
+let depth t =
+  let finish = Array.make (max 1 t.size) 0 in
+  List.fold_left
+    (fun acc (i, j) ->
+      let d = 1 + max finish.(i) finish.(j) in
+      finish.(i) <- d;
+      finish.(j) <- d;
+      max acc d)
+    0 t.comparators
+
+(* 0-1 principle: a network sorts all inputs iff it sorts all 0/1 inputs. *)
+let zero_one_inputs n f =
+  let ok = ref true in
+  let x = Array.make n 0. in
+  for mask = 0 to (1 lsl n) - 1 do
+    if !ok then begin
+      for i = 0 to n - 1 do
+        x.(i) <- (if mask land (1 lsl i) <> 0 then 1. else 0.)
+      done;
+      if not (f x) then ok := false
+    end
+  done;
+  !ok
+
+let sorts t =
+  zero_one_inputs t.size (fun x ->
+      let ones = Array.fold_left (fun a v -> if v > 0.5 then a + 1 else a) 0 x in
+      apply t x;
+      let sorted = Array.copy x in
+      ignore ones;
+      let ok = ref true in
+      for i = 0 to t.size - 2 do
+        if sorted.(i) > sorted.(i + 1) then ok := false
+      done;
+      !ok)
+
+let selects_largest t m =
+  if m > t.size then invalid_arg "Sorting_network.selects_largest";
+  zero_one_inputs t.size (fun x ->
+      let ones = Array.fold_left (fun a v -> if v > 0.5 then a + 1 else a) 0 x in
+      apply t x;
+      (* The top m wires must hold the m largest values in ascending order:
+         with [ones] ones among the inputs, wire n-1-k (k < m) must be 1 iff
+         k < ones. *)
+      let ok = ref true in
+      for k = 0 to m - 1 do
+        let expect = if k < ones then 1. else 0. in
+        if x.(t.size - 1 - k) <> expect then ok := false
+      done;
+      !ok)

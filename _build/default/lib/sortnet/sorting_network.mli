@@ -1,0 +1,45 @@
+(** Value-level sorting networks (Batcher 1968, the paper's reference [10]).
+
+    A network is a data-independent sequence of compare-swap operators; this
+    property is what lets {!Bounded_sum} encode the "j-th largest of N LP
+    expressions" with linear constraints. This module provides the concrete
+    networks on values for testing, for the paper's Figure 8 illustrations,
+    and to document the construction.
+
+    A comparator [(i, j)] orders positions [i] and [j] so that the smaller
+    value ends at [i] and the larger at [j]. *)
+
+type t = private { size : int; comparators : (int * int) list }
+
+val bubble : int -> t
+(** Full bubble-sort network on [n] wires: [n-1] passes; pass [s] bubbles the
+    largest remaining value to position [n-1-s]. *)
+
+val partial_bubble : int -> int -> t
+(** [partial_bubble n m] is the paper's premature-terminated bubble network
+    (Figure 8(b)): after [m] passes, positions [n-m .. n-1] hold the largest
+    [m] values in ascending order. Raises [Invalid_argument] unless
+    [0 <= m <= n]. *)
+
+val odd_even_mergesort : int -> t
+(** Batcher's odd-even mergesort network; [O(n log^2 n)] comparators. Works
+    for arbitrary [n] (non-powers of two are handled by pruning). *)
+
+val apply : t -> float array -> unit
+(** Run the network in place. The array length must equal [size]. *)
+
+val apply_gen : cmp:('a -> 'a -> int) -> t -> 'a array -> unit
+(** Generic-element variant of {!apply}. *)
+
+val num_comparators : t -> int
+
+val depth : t -> int
+(** Longest chain of comparators sharing a wire (parallel time). *)
+
+val sorts : t -> bool
+(** Exhaustive 0-1-principle check that the network sorts every input; only
+    feasible for [size <= 22] or so (cost [2^size]). *)
+
+val selects_largest : t -> int -> bool
+(** [selects_largest t m] checks by the 0-1 principle that the top [m]
+    positions hold the [m] largest inputs in order. *)

@@ -1,0 +1,70 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+(* SplitMix64 finaliser (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = int64 t in
+  let gamma = int64 t in
+  (* Any odd gamma works; fold it into the state to decorrelate streams. *)
+  { state = Int64.logxor seed (Int64.logor gamma 1L) }
+
+let copy t = { state = t.state }
+
+let float t bound =
+  assert (bound > 0.);
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992. *. bound
+
+let int t bound =
+  assert (bound > 0);
+  (* Keep 62 bits so the value always fits a non-negative native int. *)
+  let x = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  x mod bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let uniform t lo hi =
+  if hi <= lo then lo else lo +. float t (hi -. lo)
+
+let gaussian t ~mu ~sigma =
+  let u1 = max 1e-300 (float t 1.0) in
+  let u2 = float t 1.0 in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let lognormal t ~mu ~sigma = exp (gaussian t ~mu ~sigma)
+
+let exponential t ~mean =
+  let u = max 1e-300 (float t 1.0) in
+  -.mean *. log u
+
+let shuffle t xs =
+  for i = Array.length xs - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = xs.(i) in
+    xs.(i) <- xs.(j);
+    xs.(j) <- tmp
+  done
+
+let sample_without_replacement t k xs =
+  let xs = Array.copy xs in
+  shuffle t xs;
+  let k = min k (Array.length xs) in
+  Array.to_list (Array.sub xs 0 k)
+
+let pick t xs =
+  assert (Array.length xs > 0);
+  xs.(int t (Array.length xs))

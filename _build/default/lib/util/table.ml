@@ -1,0 +1,34 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let add_floats t label xs =
+  add_row t (label :: List.map (Printf.sprintf "%.2f") xs)
+
+let to_string t =
+  let rows = List.rev t.rows in
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) (List.length t.headers) rows
+  in
+  let pad row = row @ List.init (ncols - List.length row) (fun _ -> "") in
+  let all = pad t.headers :: List.map pad rows in
+  let widths = Array.make ncols 0 in
+  let record row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter record all;
+  let render_row row =
+    String.concat "  "
+      (List.mapi (fun i cell -> cell ^ String.make (widths.(i) - String.length cell) ' ') row)
+  in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let body = List.map render_row all in
+  match body with
+  | [] -> ""
+  | header :: rest -> String.concat "\n" (header :: sep :: rest)
+
+let print t = print_endline (to_string t)

@@ -1,0 +1,19 @@
+(** Minimal fixed-width text tables for the benchmark harness output. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; short rows are padded with empty cells. *)
+
+val add_floats : t -> string -> float list -> unit
+(** [add_floats t label xs] appends a row of [label] followed by the values
+    printed with 2 decimal places. *)
+
+val to_string : t -> string
+(** Render with aligned columns and a header separator. *)
+
+val print : t -> unit
+(** [to_string] to stdout followed by a newline. *)

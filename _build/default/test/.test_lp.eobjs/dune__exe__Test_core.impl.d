@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Basic_te Enumerate Ffc Ffc_core Ffc_net Ffc_util Flow Formulation List Printf QCheck QCheck_alcotest Te_types Topo_gen Topology Traffic Tunnel

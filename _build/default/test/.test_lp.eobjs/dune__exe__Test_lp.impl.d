@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Expr Ffc_lp Format List Model Presolve Printf Problem QCheck QCheck_alcotest String

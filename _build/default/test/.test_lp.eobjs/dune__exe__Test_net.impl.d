@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Ffc_net Ffc_util Flow Gen Hashtbl List Option Paths QCheck QCheck_alcotest String Topo_gen Topology Traffic Tunnel

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Basic_te Ffc Ffc_core Ffc_net Ffc_sim Ffc_util Flow List Option Te_types Topo_gen Topology Traffic Tunnel

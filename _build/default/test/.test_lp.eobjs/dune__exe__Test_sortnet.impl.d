@@ -1,0 +1,1 @@
+test/test_sortnet.ml: Alcotest Array Expr Ffc_lp Ffc_sortnet Gen List Model Printf QCheck QCheck_alcotest

@@ -1,0 +1,432 @@
+(* Core FFC semantics tests.
+
+   The paper's worked micro-examples (Figures 2-5) are encoded exactly: the
+   control-plane example must reproduce the 4 / 7 / 10 units of Figure 5,
+   and the data-plane example the k=1-safe spread of Figure 4. Property
+   tests then check, on random small WANs, that FFC allocations survive
+   exhaustive enumeration of all fault cases up to the protection level, and
+   that the compact sorting-network formulation matches the enumerated
+   oracle where the paper claims optimality. *)
+
+open Ffc_net
+open Ffc_core
+module Rng = Ffc_util.Rng
+
+let check_float = Alcotest.(check (float 1e-4))
+
+let find_link topo u v =
+  match Topology.find_link topo u v with
+  | Some l -> l
+  | None -> Alcotest.failf "missing link %d->%d" u v
+
+let tunnel_of ~id topo hops =
+  let rec links = function
+    | a :: (b :: _ as rest) -> find_link topo a b :: links rest
+    | _ -> []
+  in
+  Tunnel.create ~id (links hops)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3/5: control-plane FFC worked example                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Switches: s1 = 0, s2 = 1, s3 = 2, s4 = 3. All links capacity 10. *)
+let fig3_input () =
+  let topo = Topo_gen.fig3 () in
+  let t id hops = tunnel_of ~id topo hops in
+  let flows =
+    [
+      Flow.create ~id:0 ~src:0 ~dst:1 [ t 0 [ 0; 1 ] ];
+      Flow.create ~id:1 ~src:0 ~dst:2 [ t 1 [ 0; 2 ] ];
+      Flow.create ~id:2 ~src:1 ~dst:3 [ t 2 [ 1; 3 ]; t 3 [ 1; 0; 3 ] ];
+      Flow.create ~id:3 ~src:2 ~dst:3 [ t 4 [ 2; 3 ]; t 5 [ 2; 0; 3 ] ];
+      Flow.create ~id:4 ~src:0 ~dst:3 [ t 6 [ 0; 3 ] ];
+    ]
+  in
+  let demands = [| 10.; 10.; 10.; 10.; 10. |] in
+  { Te_types.topo; flows; demands }
+
+(* Figure 3(a): s2->s4 and s3->s4 send 7 direct + 3 via s1; the new flow
+   s1->s4 is not yet running. *)
+let fig3_old_alloc () =
+  {
+    Te_types.bf = [| 10.; 10.; 10.; 10.; 0. |];
+    af = [| [| 10. |]; [| 10. |]; [| 7.; 3. |]; [| 7.; 3. |]; [| 0. |] |];
+  }
+
+let solve_ffc ?(encoding = `Sorting_network) ?prev ~protection input =
+  let config = Ffc.config ~protection ~encoding ~ingress_skip_fraction:0. ~mice_fraction:0. () in
+  match Ffc.solve ~config ?prev input with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "FFC solve failed: %s" e
+
+let test_fig5_control_plane () =
+  let input = fig3_input () in
+  let prev = fig3_old_alloc () in
+  let expect kc total =
+    let r = solve_ffc ~prev ~protection:(Te_types.protection ~kc ()) input in
+    check_float (Printf.sprintf "throughput kc=%d" kc) total (Te_types.throughput r.Ffc.alloc)
+  in
+  (* Figure 5: s1->s4 admits 10 / 7 / 4 units for kc = 0 / 1 / 2; the other
+     four flows keep their 10 units each. *)
+  expect 0 50.;
+  expect 1 47.;
+  expect 2 44.
+
+let test_fig5_verified_robust () =
+  let input = fig3_input () in
+  let prev = fig3_old_alloc () in
+  List.iter
+    (fun kc ->
+      let r = solve_ffc ~prev ~protection:(Te_types.protection ~kc ()) input in
+      match Enumerate.verify_control_plane input ~old_alloc:prev ~new_alloc:r.Ffc.alloc ~kc with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "kc=%d not robust: %s" kc e)
+    [ 1; 2 ]
+
+let test_fig3_non_ffc_not_robust () =
+  (* The kc=0 solution admits the full 10 units for s1->s4 and is *not*
+     robust to a single stuck switch (the paper's Figure 3(c) congestion). *)
+  let input = fig3_input () in
+  let prev = fig3_old_alloc () in
+  let r = solve_ffc ~prev ~protection:Te_types.no_protection input in
+  match Enumerate.verify_control_plane input ~old_alloc:prev ~new_alloc:r.Ffc.alloc ~kc:1 with
+  | Ok () -> Alcotest.fail "expected non-FFC update to be fragile"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2/4: data-plane FFC worked example                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Switches: s1 = 0, s2 = 1, s3 = 2, s4 = 3; flows s2->s4 and s3->s4 with a
+   direct tunnel and a detour via s1. *)
+let fig2_input () =
+  let topo = Topo_gen.fig2 () in
+  let t id hops = tunnel_of ~id topo hops in
+  let flows =
+    [
+      Flow.create ~id:0 ~src:1 ~dst:3 [ t 0 [ 1; 3 ]; t 1 [ 1; 0; 3 ] ];
+      Flow.create ~id:1 ~src:2 ~dst:3 [ t 2 [ 2; 3 ]; t 3 [ 2; 0; 3 ] ];
+    ]
+  in
+  { Te_types.topo; flows; demands = [| 10.; 10. |] }
+
+let test_fig4_data_plane () =
+  let input = fig2_input () in
+  let r = solve_ffc ~protection:(Te_types.protection ~ke:1 ()) input in
+  (* Both tunnels of each flow must be able to carry the whole flow; the
+     shared detour link s1-s4 (capacity 10) limits total to 10. *)
+  check_float "throughput ke=1" 10. (Te_types.throughput r.Ffc.alloc);
+  (match Enumerate.verify_data_plane input r.Ffc.alloc ~ke:1 ~kv:0 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "ke=1 not robust: %s" e);
+  (* Non-FFC gets 20 but is fragile to one link failure. *)
+  let basic = solve_ffc ~protection:Te_types.no_protection input in
+  check_float "throughput non-FFC" 20. (Te_types.throughput basic.Ffc.alloc);
+  match Enumerate.verify_data_plane input basic.Ffc.alloc ~ke:1 ~kv:0 with
+  | Ok () -> Alcotest.fail "expected non-FFC allocation to be fragile"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Basic TE sanity                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_basic_te_serves_light_demand () =
+  let input = fig2_input () in
+  let light = { input with Te_types.demands = [| 3.; 4. |] } in
+  match Basic_te.solve light with
+  | Ok alloc ->
+    check_float "all demand served" 7. (Te_types.throughput alloc);
+    let loads = Te_types.link_loads light alloc in
+    Array.iter
+      (fun (l : Topology.link) ->
+        Alcotest.(check bool) "within capacity" true
+          (loads.(l.Topology.id) <= l.Topology.capacity +. 1e-6))
+      (Topology.links light.Te_types.topo)
+  | Error e -> Alcotest.fail e
+
+let test_reserved_capacity () =
+  let input = fig2_input () in
+  (* Reserve 5 units on every link: halves the available network. *)
+  let reserved = Array.make (Topology.num_links input.Te_types.topo) 5. in
+  match Basic_te.solve ~reserved input with
+  | Ok alloc ->
+    let loads = Te_types.link_loads input alloc in
+    Array.iter
+      (fun (l : Topology.link) ->
+        Alcotest.(check bool) "respects reservation" true
+          (loads.(l.Topology.id) <= (l.Topology.capacity -. 5.) +. 1e-6))
+      (Topology.links input.Te_types.topo)
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Allocation helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_weights () =
+  let alloc = { Te_types.bf = [| 8. |]; af = [| [| 4.; 2.; 2. |] |] } in
+  Alcotest.(check (array (float 1e-9))) "weights" [| 0.5; 0.25; 0.25 |] (Te_types.weights alloc 0)
+
+let test_weights_zero_alloc () =
+  (* No installed allocation means no forwarding rules: zero weights. *)
+  let alloc = { Te_types.bf = [| 0. |]; af = [| [| 0.; 0. |] |] } in
+  Alcotest.(check (array (float 1e-9))) "zero" [| 0.; 0. |] (Te_types.weights alloc 0)
+
+let test_max_oversubscription () =
+  let input = fig2_input () in
+  let loads = Array.make (Topology.num_links input.Te_types.topo) 0. in
+  let l = find_link input.Te_types.topo 0 3 in
+  loads.(l.Topology.id) <- 12.;
+  check_float "20%" 20. (Te_types.max_oversubscription input loads)
+
+let test_flow_pq () =
+  let input = fig2_input () in
+  List.iter
+    (fun f ->
+      let p, q = Flow.p_q f in
+      Alcotest.(check (pair int int)) "p,q" (1, 1) (p, q))
+    input.Te_types.flows
+
+let test_tau () =
+  let input = fig2_input () in
+  let f = List.hd input.Te_types.flows in
+  Alcotest.(check int) "tau ke=1" 1 (Flow.tau f ~ke:1 ~kv:0);
+  Alcotest.(check int) "tau kv=1" 1 (Flow.tau f ~ke:0 ~kv:1);
+  Alcotest.(check int) "tau both" 0 (Flow.tau f ~ke:1 ~kv:1)
+
+(* ------------------------------------------------------------------ *)
+(* Randomised robustness properties                                    *)
+(* ------------------------------------------------------------------ *)
+
+let random_instance seed =
+  let rng = Rng.create seed in
+  let topo = Topo_gen.lnet ~sites:6 rng in
+  let spec = Traffic.make_flows ~tunnels_per_flow:3 ~nflows:5 rng topo in
+  let demands =
+    Array.map (fun d -> d *. (0.5 +. Rng.float rng 1.5)) spec.Traffic.base_demand
+  in
+  { Te_types.topo; flows = spec.Traffic.flows; demands }
+
+let seeds = QCheck.Gen.int_range 0 10_000
+
+let prop_data_ffc_robust =
+  QCheck.Test.make ~count:25 ~name:"data-plane FFC survives all single link failures"
+    (QCheck.make seeds) (fun seed ->
+      let input = random_instance seed in
+      let r = solve_ffc ~protection:(Te_types.protection ~ke:1 ()) input in
+      match Enumerate.verify_data_plane input r.Ffc.alloc ~ke:1 ~kv:0 with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_report e)
+
+let prop_data_ffc_switch_robust =
+  QCheck.Test.make ~count:15 ~name:"data-plane FFC survives single switch failures"
+    (QCheck.make seeds) (fun seed ->
+      let input = random_instance seed in
+      let r = solve_ffc ~protection:(Te_types.protection ~kv:1 ()) input in
+      match Enumerate.verify_data_plane input r.Ffc.alloc ~ke:0 ~kv:1 with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_report e)
+
+let prop_control_ffc_robust =
+  QCheck.Test.make ~count:20 ~name:"control-plane FFC survives stuck switches"
+    (QCheck.make (QCheck.Gen.pair seeds (QCheck.Gen.int_range 1 2)))
+    (fun (seed, kc) ->
+      let input = random_instance seed in
+      (* Old config: basic TE on perturbed demands. *)
+      let rng = Rng.create (seed + 77) in
+      let old_demands = Array.map (fun d -> d *. (0.4 +. Rng.float rng 1.2)) input.Te_types.demands in
+      let prev =
+        match Basic_te.solve { input with Te_types.demands = old_demands } with
+        | Ok a -> a
+        | Error e -> QCheck.Test.fail_report e
+      in
+      let r = solve_ffc ~prev ~protection:(Te_types.protection ~kc ()) input in
+      match Enumerate.verify_control_plane input ~old_alloc:prev ~new_alloc:r.Ffc.alloc ~kc with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_report e)
+
+let prop_ffc_below_basic =
+  QCheck.Test.make ~count:25 ~name:"FFC throughput never exceeds basic TE"
+    (QCheck.make seeds) (fun seed ->
+      let input = random_instance seed in
+      let basic =
+        match Basic_te.solve input with Ok a -> a | Error e -> QCheck.Test.fail_report e
+      in
+      let r = solve_ffc ~protection:(Te_types.protection ~ke:1 ()) input in
+      Te_types.throughput r.Ffc.alloc <= Te_types.throughput basic +. 1e-5)
+
+let prop_encodings_equal =
+  QCheck.Test.make ~count:20 ~name:"sorting-network and duality encodings agree"
+    (QCheck.make seeds) (fun seed ->
+      let input = random_instance seed in
+      let r1 = solve_ffc ~encoding:`Sorting_network ~protection:(Te_types.protection ~ke:1 ()) input in
+      let r2 = solve_ffc ~encoding:`Duality ~protection:(Te_types.protection ~ke:1 ()) input in
+      abs_float (Te_types.throughput r1.Ffc.alloc -. Te_types.throughput r2.Ffc.alloc) < 1e-5)
+
+(* The paper's optimality claims (§4.4.3): control-plane FFC is optimal, and
+   data-plane FFC is optimal with link-disjoint tunnels and kv = 0 — i.e.
+   the compact formulation matches the enumerated Eqn 5/9 oracle. *)
+let prop_control_matches_oracle =
+  QCheck.Test.make ~count:12 ~name:"compact control FFC matches enumerated oracle"
+    (QCheck.make seeds) (fun seed ->
+      let input = random_instance seed in
+      let rng = Rng.create (seed + 123) in
+      let old_demands = Array.map (fun d -> d *. (0.4 +. Rng.float rng 1.2)) input.Te_types.demands in
+      let prev =
+        match Basic_te.solve { input with Te_types.demands = old_demands } with
+        | Ok a -> a
+        | Error e -> QCheck.Test.fail_report e
+      in
+      let protection = Te_types.protection ~kc:2 () in
+      let compact = solve_ffc ~prev ~protection input in
+      match Enumerate.solve ~protection ~prev input with
+      | Ok oracle ->
+        abs_float (Te_types.throughput compact.Ffc.alloc -. Te_types.throughput oracle.Ffc.alloc)
+        < 1e-4
+      | Error e -> QCheck.Test.fail_report e)
+
+let prop_data_matches_oracle_disjoint =
+  QCheck.Test.make ~count:12 ~name:"compact data FFC matches oracle on link-disjoint tunnels"
+    (QCheck.make seeds) (fun seed ->
+      let input = random_instance seed in
+      (* Traffic.make_flows uses p = 1 (link-disjoint) already. *)
+      let all_disjoint =
+        List.for_all (fun f -> fst (Flow.p_q f) = 1) input.Te_types.flows
+      in
+      QCheck.assume all_disjoint;
+      let protection = Te_types.protection ~ke:1 () in
+      let compact = solve_ffc ~protection input in
+      match Enumerate.solve ~protection input with
+      | Ok oracle ->
+        abs_float (Te_types.throughput compact.Ffc.alloc -. Te_types.throughput oracle.Ffc.alloc)
+        < 1e-4
+      | Error e -> QCheck.Test.fail_report e)
+
+let prop_data_never_beats_oracle =
+  QCheck.Test.make ~count:12 ~name:"compact data FFC is a relaxation-safe under-approximation"
+    (QCheck.make seeds) (fun seed ->
+      let input = random_instance seed in
+      let protection = Te_types.protection ~ke:1 ~kv:1 () in
+      let compact = solve_ffc ~protection input in
+      match Enumerate.solve ~protection input with
+      | Ok oracle ->
+        Te_types.throughput compact.Ffc.alloc <= Te_types.throughput oracle.Ffc.alloc +. 1e-4
+      | Error e -> QCheck.Test.fail_report e)
+
+(* Eqn 15's tunnel-count protection side-effect (§4.4.1): a (ke=3, kv=0)
+   configuration with (1,3)-disjoint tunnels also survives one switch
+   failure. *)
+let prop_cross_protection =
+  QCheck.Test.make ~count:8 ~name:"(ke=3) with (1,3) tunnels also covers one switch failure"
+    (QCheck.make seeds) (fun seed ->
+      let input = random_instance seed in
+      let enough = List.for_all (fun f -> Flow.num_tunnels f >= 3) input.Te_types.flows in
+      QCheck.assume enough;
+      let r = solve_ffc ~protection:(Te_types.protection ~ke:3 ()) input in
+      (* Check kt = 3 tunnel failures covers q <= 3 switch-induced loss. *)
+      match Enumerate.verify_data_plane input r.Ffc.alloc ~ke:0 ~kv:1 with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_report e)
+
+(* ------------------------------------------------------------------ *)
+(* §4.4.3 computational-overhead claims                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper: control-plane FFC adds |E| + O(kc |V| |E|) constraints and
+   data-plane FFC O(sum_f |T_f| min(|T_f|-tau, tau)) — i.e. the formulation
+   stays O(kn), not exponential. Check our encoding against explicit
+   per-instance bounds derived the same way. *)
+let lp_rows input ~protection ~prev =
+  let config =
+    Ffc.config ~protection ~encoding:`Sorting_network ~mice_fraction:0. ~ingress_skip_fraction:0.
+      ()
+  in
+  match Ffc.solve ~config ?prev input with
+  | Ok r -> r.Ffc.stats.Ffc.lp_rows
+  | Error e -> Alcotest.fail e
+
+let test_control_constraint_growth () =
+  let input = random_instance 42 in
+  let prev = match Basic_te.solve input with Ok a -> a | Error e -> Alcotest.fail e in
+  let base = lp_rows input ~protection:Te_types.no_protection ~prev:None in
+  let kc = 2 in
+  let rows = lp_rows input ~protection:(Te_types.protection ~kc ()) ~prev:(Some prev) in
+  (* Bound: 2 beta rows per (flow, tunnel) [3 with no prev2/rl], one M-sum
+     row per link, and <= 3 comparator rows per bubble pass element:
+     sum_e 3 kc N_e where N_e = ingresses crossing link e. *)
+  let tunnels =
+    List.fold_left (fun acc f -> acc + Flow.num_tunnels f) 0 input.Te_types.flows
+  in
+  let per_link = Formulation.crossings_by_link input in
+  let comparator_bound =
+    Array.fold_left
+      (fun acc crossings ->
+        let n_e = List.length (Formulation.by_ingress crossings) in
+        if n_e = 0 then acc else acc + 1 + (3 * kc * n_e))
+      0 per_link
+  in
+  let bound = base + (3 * tunnels) + comparator_bound in
+  Alcotest.(check bool)
+    (Printf.sprintf "rows %d within O(kc n) bound %d" rows bound)
+    true (rows <= bound)
+
+let test_data_constraint_growth () =
+  let input = random_instance 42 in
+  let base = lp_rows input ~protection:Te_types.no_protection ~prev:None in
+  let rows = lp_rows input ~protection:(Te_types.protection ~ke:1 ()) ~prev:None in
+  (* Bound: per flow, one M-sum row plus 3 rows per comparator of a
+     tau-stage partial bubble network over |T_f| elements. *)
+  let bound =
+    List.fold_left
+      (fun acc f ->
+        let nt = Flow.num_tunnels f in
+        let tau = max 0 (Flow.tau f ~ke:1 ~kv:0) in
+        acc + 1 + (3 * tau * nt))
+      base input.Te_types.flows
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "rows %d within O(tau |T|) bound %d" rows bound)
+    true (rows <= bound)
+
+let () =
+  let case name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "core"
+    [
+      ( "paper-examples",
+        [
+          case "figure 5 control-plane numbers" test_fig5_control_plane;
+          case "figure 5 allocations verified robust" test_fig5_verified_robust;
+          case "figure 3 non-FFC fragile" test_fig3_non_ffc_not_robust;
+          case "figure 4 data-plane" test_fig4_data_plane;
+        ] );
+      ( "basic-te",
+        [
+          case "serves light demand fully" test_basic_te_serves_light_demand;
+          case "reserved capacity honoured" test_reserved_capacity;
+        ] );
+      ( "helpers",
+        [
+          case "weights" test_weights;
+          case "weights of empty allocation" test_weights_zero_alloc;
+          case "max oversubscription" test_max_oversubscription;
+          case "flow (p,q)" test_flow_pq;
+          case "tau" test_tau;
+        ] );
+      ( "overhead-claims",
+        [
+          case "control FFC rows are O(kc n)" test_control_constraint_growth;
+          case "data FFC rows are O(tau |T|)" test_data_constraint_growth;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_data_ffc_robust;
+          QCheck_alcotest.to_alcotest prop_data_ffc_switch_robust;
+          QCheck_alcotest.to_alcotest prop_control_ffc_robust;
+          QCheck_alcotest.to_alcotest prop_ffc_below_basic;
+          QCheck_alcotest.to_alcotest prop_encodings_equal;
+          QCheck_alcotest.to_alcotest prop_control_matches_oracle;
+          QCheck_alcotest.to_alcotest prop_data_matches_oracle_disjoint;
+          QCheck_alcotest.to_alcotest prop_data_never_beats_oracle;
+          QCheck_alcotest.to_alcotest prop_cross_protection;
+        ] );
+    ]

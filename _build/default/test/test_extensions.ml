@@ -1,0 +1,667 @@
+(* Tests for the §5 extensions: multi-priority cascading, max-min fairness,
+   the MLU objective, congestion-free update planning, unordered
+   rate-limiter protection, and configuration uncertainty. *)
+
+open Ffc_net
+open Ffc_core
+module Rng = Ffc_util.Rng
+
+let check_float = Alcotest.(check (float 1e-4))
+
+let link topo u v = Option.get (Topology.find_link topo u v)
+
+let tunnel topo ~id hops =
+  let rec links = function
+    | a :: (b :: _ as rest) -> link topo a b :: links rest
+    | _ -> []
+  in
+  Tunnel.create ~id (links hops)
+
+(* The Figure 2 diamond with one flow per ingress. *)
+let diamond_input ?(demands = [| 10.; 10. |]) () =
+  let topo = Topo_gen.fig2 () in
+  let flows =
+    [
+      Flow.create ~id:0 ~src:1 ~dst:3
+        [ tunnel topo ~id:0 [ 1; 3 ]; tunnel topo ~id:1 [ 1; 0; 3 ] ];
+      Flow.create ~id:1 ~src:2 ~dst:3
+        [ tunnel topo ~id:2 [ 2; 3 ]; tunnel topo ~id:3 [ 2; 0; 3 ] ];
+    ]
+  in
+  { Te_types.topo; flows; demands }
+
+let random_instance seed =
+  let rng = Rng.create seed in
+  let topo = Topo_gen.lnet ~sites:6 rng in
+  let spec = Traffic.make_flows ~tunnels_per_flow:3 ~nflows:5 rng topo in
+  let demands = Array.map (fun d -> d *. (0.5 +. Rng.float rng 1.0)) spec.Traffic.base_demand in
+  { Te_types.topo; flows = spec.Traffic.flows; demands }
+
+(* ------------------------------------------------------------------ *)
+(* Fairness                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_fairness_symmetric_split () =
+  (* Two symmetric flows under ke=1 share the bottleneck 5/5 — the
+     regression test for the SWAN lower-bound rule. *)
+  let input = diamond_input () in
+  let config = Ffc.config ~protection:(Te_types.protection ~ke:1 ()) ~mice_fraction:0. () in
+  match Fairness.solve ~config input with
+  | Ok (alloc, _) ->
+    check_float "flow 0" 5. alloc.Te_types.bf.(0);
+    check_float "flow 1" 5. alloc.Te_types.bf.(1)
+  | Error e -> Alcotest.fail e
+
+let test_fairness_serves_unconstrained_demand () =
+  let input = diamond_input ~demands:[| 3.; 4. |] () in
+  match Fairness.solve input with
+  | Ok (alloc, _) ->
+    check_float "flow 0 full" 3. alloc.Te_types.bf.(0);
+    check_float "flow 1 full" 4. alloc.Te_types.bf.(1)
+  | Error e -> Alcotest.fail e
+
+let prop_fairness_improves_worst_rate =
+  (* SWAN's guarantee is approximate max-min on *rates*: the smallest
+     granted rate is within a factor alpha (2) of the best achievable by any
+     allocation — in particular of whatever max-throughput happened to give
+     its most-starved flow. (Minimum demand-*share* carries no such
+     guarantee: max-min fairness is not share-fairness.) *)
+  QCheck.Test.make ~count:10
+    ~name:"fair minimum rate within alpha of max-throughput's minimum rate"
+    (QCheck.make (QCheck.Gen.int_range 0 5000))
+    (fun seed ->
+      let input = random_instance seed in
+      let config = Ffc.config ~protection:(Te_types.protection ~ke:1 ()) () in
+      let worst alloc =
+        List.fold_left
+          (fun acc (f : Flow.t) -> min acc alloc.Te_types.bf.(f.Flow.id))
+          infinity input.Te_types.flows
+      in
+      match (Ffc.solve ~config input, Fairness.solve ~alpha:2. ~config input) with
+      | Ok r, Ok (fair, _) -> worst fair >= (worst r.Ffc.alloc /. 2.) -. 1e-5
+      | _ -> QCheck.Test.fail_report "solver failure")
+
+let prop_fairness_retains_protection =
+  QCheck.Test.make ~count:8 ~name:"max-min fair allocations keep the FFC guarantee"
+    (QCheck.make (QCheck.Gen.int_range 0 5000))
+    (fun seed ->
+      let input = random_instance seed in
+      let config = Ffc.config ~protection:(Te_types.protection ~ke:1 ()) ~mice_fraction:0. () in
+      match Fairness.solve ~config input with
+      | Ok (alloc, _) -> (
+        match Enumerate.verify_data_plane input alloc ~ke:1 ~kv:0 with
+        | Ok () -> true
+        | Error e -> QCheck.Test.fail_report e)
+      | Error e -> QCheck.Test.fail_report e)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-priority                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let priority_instance seed =
+  let rng = Rng.create seed in
+  let topo = Topo_gen.lnet ~sites:6 rng in
+  let spec = Traffic.make_flows ~tunnels_per_flow:3 ~nflows:4 rng topo in
+  let spec = Traffic.split_priorities ~fractions:[ 0.3; 0.7 ] spec in
+  { Te_types.topo; flows = spec.Traffic.flows; demands = spec.Traffic.base_demand }
+
+let test_priority_monotonicity_enforced () =
+  let input = priority_instance 3 in
+  let config_of = function
+    | 0 -> Ffc.config () (* high priority LESS protected than low: invalid *)
+    | _ -> Ffc.config ~protection:(Te_types.protection ~ke:1 ()) ()
+  in
+  try
+    ignore (Priority_te.solve ~config_of input);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_priority_cascade_within_capacity () =
+  let input = priority_instance 4 in
+  let config_of = function
+    | 0 -> Ffc.config ~protection:(Te_types.protection ~ke:1 ()) ~encoding:`Duality ()
+    | _ -> Ffc.config ()
+  in
+  match Priority_te.solve ~config_of input with
+  | Error e -> Alcotest.fail e
+  | Ok (alloc, stats) ->
+    Alcotest.(check int) "one stat per class" 2 (List.length stats);
+    (* Planned upper bounds may overlap across classes (lower classes ride
+       in higher classes' protection headroom); the actual traffic-split
+       loads must fit. *)
+    let loads = Te_types.split_loads input alloc in
+    Array.iter
+      (fun (l : Topology.link) ->
+        Alcotest.(check bool) "within capacity" true
+          (loads.(l.Topology.id) <= l.Topology.capacity +. 1e-6))
+      (Topology.links input.Te_types.topo)
+
+let test_priority_high_class_protected () =
+  (* The high class alone (with lower classes erased) must carry its FFC
+     guarantee: rescaling only the high-priority flows never congests. *)
+  let input = priority_instance 5 in
+  let config_of = function
+    | 0 -> Ffc.config ~protection:(Te_types.protection ~ke:1 ()) ~mice_fraction:0. ()
+    | _ -> Ffc.config ()
+  in
+  match Priority_te.solve ~config_of input with
+  | Error e -> Alcotest.fail e
+  | Ok (alloc, _) ->
+    let high_only =
+      {
+        input with
+        Te_types.flows =
+          List.filter (fun (f : Flow.t) -> f.Flow.priority = 0) input.Te_types.flows;
+      }
+    in
+    (match Enumerate.verify_data_plane high_only alloc ~ke:1 ~kv:0 with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "high class not protected: %s" e)
+
+(* ------------------------------------------------------------------ *)
+(* MLU                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_mlu_optimum () =
+  (* 8+8 units over the diamond: balance direct links against the shared
+     detour; optimum u = 16/30. *)
+  let input = diamond_input ~demands:[| 8.; 8. |] () in
+  match Mlu_te.solve input with
+  | Ok r ->
+    check_float "mlu" (16. /. 30.) r.Mlu_te.mlu;
+    (* Demands are carried in full. *)
+    check_float "b0" 8. r.Mlu_te.alloc.Te_types.bf.(0);
+    check_float "b1" 8. r.Mlu_te.alloc.Te_types.bf.(1)
+  | Error e -> Alcotest.fail e
+
+let test_mlu_with_data_ffc () =
+  (* ke=1 forces every tunnel to hold the full 8 units: the shared detour
+     link carries 16 -> u = 1.6. *)
+  let input = diamond_input ~demands:[| 8.; 8. |] () in
+  let config =
+    Ffc.config ~protection:(Te_types.protection ~ke:1 ()) ~mice_fraction:0. ()
+  in
+  match Mlu_te.solve ~config input with
+  | Ok r -> check_float "mlu" 1.6 r.Mlu_te.mlu
+  | Error e -> Alcotest.fail e
+
+let test_mlu_control_ffc_bounds_fault_mlu () =
+  let input = random_instance 11 in
+  let prev = Result.get_ok (Basic_te.solve input) in
+  let config =
+    Ffc.config ~protection:(Te_types.protection ~kc:1 ()) ~encoding:`Duality ()
+  in
+  match Mlu_te.solve ~config ~prev input with
+  | Ok r -> (
+    match r.Mlu_te.fault_mlu with
+    | Some uf -> Alcotest.(check bool) "uf >= u" true (uf >= r.Mlu_te.mlu -. 1e-6)
+    | None -> Alcotest.fail "expected a fault MLU")
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Update planning                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_transition_safe_reflexive () =
+  let input = diamond_input () in
+  let alloc = Result.get_ok (Basic_te.solve input) in
+  Alcotest.(check bool) "self-transition safe" true
+    (Update_plan.transition_safe input alloc alloc)
+
+let test_transition_unsafe_detected () =
+  (* Moving all of both flows between the direct and detour paths cannot be
+     done in one step: a bad ordering doubles the detour load. *)
+  let input = diamond_input () in
+  let a = { Te_types.bf = [| 10.; 10. |]; af = [| [| 10.; 0. |]; [| 0.; 10. |] |] } in
+  let b = { Te_types.bf = [| 10.; 10. |]; af = [| [| 0.; 10. |]; [| 10.; 0. |] |] } in
+  Alcotest.(check bool) "unsafe transition detected" false
+    (Update_plan.transition_safe input a b)
+
+let test_plan_two_step () =
+  let input = diamond_input () in
+  let a = { Te_types.bf = [| 10.; 10. |]; af = [| [| 10.; 0. |]; [| 0.; 10. |] |] } in
+  let b = { Te_types.bf = [| 10.; 10. |]; af = [| [| 0.; 10. |]; [| 10.; 0. |] |] } in
+  match Update_plan.plan ~steps:2 input ~from_:a ~to_:b with
+  | Ok plan ->
+    Alcotest.(check int) "one intermediate" 1 (List.length plan.Update_plan.steps);
+    let inter = List.hd plan.Update_plan.steps in
+    Alcotest.(check bool) "first hop safe" true (Update_plan.transition_safe input a inter);
+    Alcotest.(check bool) "second hop safe" true (Update_plan.transition_safe input inter b);
+    (* The guaranteed rate is carried throughout. *)
+    List.iter
+      (fun (f : Flow.t) ->
+        let id = f.Flow.id in
+        let carried = Array.fold_left ( +. ) 0. inter.Te_types.af.(id) in
+        Alcotest.(check bool) "min rate kept" true
+          (carried >= plan.Update_plan.min_rate.(id) -. 1e-6))
+      input.Te_types.flows
+  | Error e -> Alcotest.fail e
+
+let prop_plan_transitions_safe =
+  QCheck.Test.make ~count:8 ~name:"planned chains are pairwise congestion-free"
+    (QCheck.make (QCheck.Gen.int_range 0 5000))
+    (fun seed ->
+      let input = random_instance seed in
+      let rng = Rng.create (seed + 1) in
+      let from_ = Result.get_ok (Basic_te.solve input) in
+      let demands2 =
+        Array.map (fun d -> d *. (0.5 +. Rng.float rng 0.8)) input.Te_types.demands
+      in
+      let to_ = Result.get_ok (Basic_te.solve { input with Te_types.demands = demands2 }) in
+      match Update_plan.plan ~steps:2 input ~from_ ~to_ with
+      | Error _ -> QCheck.assume_fail () (* not all instances admit 2 steps *)
+      | Ok plan ->
+        let chain = (from_ :: plan.Update_plan.steps) @ [ to_ ] in
+        let rec ok = function
+          | a :: (b :: _ as rest) -> Update_plan.transition_safe input a b && ok rest
+          | _ -> true
+        in
+        ok chain)
+
+(* ------------------------------------------------------------------ *)
+(* Rate limiters (§5.5) and uncertainty (§5.6)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Under unordered updates a tunnel may see any (rate, weights) mix of old
+   and new; the reservation-based formulation must keep every mix within
+   capacity for up to kc faulty ingresses (here: each ingress alone). *)
+let mix_loads (input : Te_types.input) ~(prev : Te_types.allocation)
+    ~(next : Te_types.allocation) ~stuck_src ~use_old_rate ~use_old_weights =
+  let rates_of (f : Flow.t) =
+    let id = f.Flow.id in
+    if f.Flow.src <> stuck_src then next.Te_types.af.(id)
+    else begin
+      let rate =
+        if use_old_rate then prev.Te_types.bf.(id) else next.Te_types.bf.(id)
+      in
+      let weights =
+        if use_old_weights then Te_types.weights prev id else Te_types.weights next id
+      in
+      Array.map (fun w -> w *. rate) weights
+    end
+  in
+  let loads = Array.make (Topology.num_links input.Te_types.topo) 0. in
+  List.iter
+    (fun (f : Flow.t) ->
+      let rates = rates_of f in
+      List.iteri
+        (fun ti (t : Tunnel.t) ->
+          if rates.(ti) > 0. then
+            List.iter
+              (fun (l : Topology.link) ->
+                loads.(l.Topology.id) <- loads.(l.Topology.id) +. rates.(ti))
+              t.Tunnel.links)
+        f.Flow.tunnels)
+    input.Te_types.flows;
+  loads
+
+let test_rate_limiter_unordered_robust () =
+  let input = diamond_input () in
+  let prev =
+    { Te_types.bf = [| 8.; 4. |]; af = [| [| 8.; 0. |]; [| 2.; 2. |] |] }
+  in
+  let config =
+    Ffc.config ~protection:(Te_types.protection ~kc:1 ()) ~mice_fraction:0. ()
+  in
+  match Rate_limiter.solve ~config ~prev input with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    let next = r.Ffc.alloc in
+    let srcs = [ 1; 2 ] in
+    List.iter
+      (fun stuck_src ->
+        List.iter
+          (fun (use_old_rate, use_old_weights) ->
+            let loads =
+              mix_loads input ~prev ~next ~stuck_src ~use_old_rate ~use_old_weights
+            in
+            Array.iter
+              (fun (l : Topology.link) ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "src %d mix (%b,%b) link %d" stuck_src use_old_rate
+                     use_old_weights l.Topology.id)
+                  true
+                  (loads.(l.Topology.id) <= l.Topology.capacity +. 1e-6))
+              (Topology.links input.Te_types.topo))
+          [ (true, true); (true, false); (false, true); (false, false) ])
+      srcs
+
+let test_uncertainty_freezes_flows () =
+  let input = diamond_input () in
+  let prev2 = { Te_types.bf = [| 6.; 6. |]; af = [| [| 6.; 0. |]; [| 6.; 0. |] |] } in
+  let prev = { Te_types.bf = [| 8.; 4. |]; af = [| [| 8.; 0. |]; [| 4.; 0. |] |] } in
+  let config = Ffc.config ~protection:(Te_types.protection ~kc:1 ()) ~mice_fraction:0. () in
+  match Ffc.solve ~config ~prev ~prev2 ~uncertain_flows:[ 0 ] input with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    (* Flow 0 is pinned to its last commanded configuration. *)
+    check_float "rate frozen" prev.Te_types.bf.(0) r.Ffc.alloc.Te_types.bf.(0);
+    check_float "tunnel 0 frozen" prev.Te_types.af.(0).(0) r.Ffc.alloc.Te_types.af.(0).(0);
+    (* Capacity still holds even if flow 0 is actually running the older
+       (prev2) configuration. *)
+    let loads = Array.make (Topology.num_links input.Te_types.topo) 0. in
+    let add (f : Flow.t) rates =
+      List.iteri
+        (fun ti (t : Tunnel.t) ->
+          if rates.(ti) > 0. then
+            List.iter
+              (fun (l : Topology.link) ->
+                loads.(l.Topology.id) <- loads.(l.Topology.id) +. rates.(ti))
+              t.Tunnel.links)
+        f.Flow.tunnels
+    in
+    List.iter
+      (fun (f : Flow.t) ->
+        if f.Flow.id = 0 then add f prev2.Te_types.af.(0)
+        else add f r.Ffc.alloc.Te_types.af.(f.Flow.id))
+      input.Te_types.flows;
+    Array.iter
+      (fun (l : Topology.link) ->
+        Alcotest.(check bool) "prev2 mix within capacity" true
+          (loads.(l.Topology.id) <= l.Topology.capacity +. 1e-6))
+      (Topology.links input.Te_types.topo)
+
+let test_rl_ordered_mode () =
+  (* Eqn 18: with ordered updates beta also dominates the old allocation. *)
+  let input = diamond_input () in
+  let prev = { Te_types.bf = [| 10.; 10. |]; af = [| [| 10.; 0. |]; [| 10.; 0. |] |] } in
+  let config =
+    Ffc.config ~protection:(Te_types.protection ~kc:2 ()) ~rl_mode:Ffc.Rl_ordered
+      ~mice_fraction:0. ()
+  in
+  match Ffc.solve ~config ~prev input with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    (* Worst case: both flows still at their old config while the new one is
+       also reserved: old a' + new a must fit every link. *)
+    let loads_old = Te_types.link_loads input prev in
+    let loads_new = Te_types.link_loads input r.Ffc.alloc in
+    ignore loads_old;
+    ignore loads_new;
+    (* The direct links already carry 10 units of old traffic, so the new
+       configuration cannot add anything there beyond capacity. *)
+    Array.iter
+      (fun (l : Topology.link) ->
+        let both = max loads_old.(l.Topology.id) loads_new.(l.Topology.id) in
+        Alcotest.(check bool) "max(old,new) within capacity" true
+          (both <= l.Topology.capacity +. 1e-6))
+      (Topology.links input.Te_types.topo)
+
+(* ------------------------------------------------------------------ *)
+(* Residual-set weights baseline (§9 related work, Suchara et al.)     *)
+(* ------------------------------------------------------------------ *)
+
+let test_residual_weights_beats_ffc_on_diamond () =
+  (* Per-failure-state splits can keep the full 20 units on the diamond —
+     each flow's detour is only needed when its own direct link dies —
+     whereas FFC's single split must pre-reserve the shared detour. *)
+  let input = diamond_input () in
+  match Residual_weights.solve ~ke:1 input with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    check_float "full demand" 20. (Array.fold_left ( +. ) 0. r.Residual_weights.bf);
+    (match Residual_weights.verify input r ~ke:1 with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "not robust: %s" e);
+    let config = Ffc.config ~protection:(Te_types.protection ~ke:1 ()) ~mice_fraction:0. () in
+    let ffc = Result.get_ok (Ffc.solve ~config input) in
+    check_float "FFC pays for a single split" 10. (Te_types.throughput ffc.Ffc.alloc)
+
+let prop_residual_weights_dominate_ffc =
+  QCheck.Test.make ~count:8
+    ~name:"per-state splits always admit at least FFC's throughput"
+    (QCheck.make (QCheck.Gen.int_range 0 5000))
+    (fun seed ->
+      let input = random_instance seed in
+      let config = Ffc.config ~protection:(Te_types.protection ~ke:1 ()) ~mice_fraction:0. () in
+      match (Ffc.solve ~config input, Residual_weights.solve ~ke:1 input) with
+      | Ok ffc, Ok rw ->
+        let rw_total = Array.fold_left ( +. ) 0. rw.Residual_weights.bf in
+        (match Residual_weights.verify input rw ~ke:1 with
+        | Error e -> QCheck.Test.fail_report e
+        | Ok () -> rw_total >= Te_types.throughput ffc.Ffc.alloc -. 1e-4)
+      | _ -> QCheck.Test.fail_report "solver failure")
+
+(* ------------------------------------------------------------------ *)
+(* Demand uncertainty (§9 future work, via the same M-sum machinery)   *)
+(* ------------------------------------------------------------------ *)
+
+let test_demand_robust_gamma_monotone () =
+  let input = diamond_input ~demands:[| 4.; 4. |] () in
+  let peaks = [| 8.; 8. |] in
+  let mlu gamma =
+    match Demand_robust.solve ~peaks ~gamma input with
+    | Ok r -> r.Demand_robust.mlu
+    | Error e -> Alcotest.fail e
+  in
+  let u0 = mlu 0 and u1 = mlu 1 and u2 = mlu 2 in
+  Alcotest.(check bool) "monotone in gamma" true (u0 <= u1 +. 1e-9 && u1 <= u2 +. 1e-9);
+  (* gamma = 0: nominal-only; the diamond carries 8 units at u = 8/30 *)
+  check_float "gamma 0 nominal" (8. /. 30.) u0;
+  (* gamma = all: both flows at peak, same structure as the MLU test *)
+  check_float "gamma 2 = all peaks" (16. /. 30.) u2
+
+let prop_demand_robust_covers_all_deviations =
+  QCheck.Test.make ~count:12
+    ~name:"guaranteed MLU dominates every gamma-deviation (exhaustive check)"
+    (QCheck.make (QCheck.Gen.pair (QCheck.Gen.int_range 0 5000) (QCheck.Gen.int_range 0 2)))
+    (fun (seed, gamma) ->
+      let input = random_instance seed in
+      let rng = Rng.create (seed + 654) in
+      let peaks =
+        Array.map (fun d -> d *. (1. +. Rng.float rng 1.5)) input.Te_types.demands
+      in
+      match Demand_robust.solve ~peaks ~gamma input with
+      | Error e -> QCheck.Test.fail_report e
+      | Ok r ->
+        let true_worst = Demand_robust.worst_case_utilisation input ~peaks ~gamma r.Demand_robust.alloc in
+        true_worst <= r.Demand_robust.mlu +. 1e-6)
+
+let test_demand_robust_rejects_bad_peaks () =
+  let input = diamond_input ~demands:[| 4.; 4. |] () in
+  try
+    ignore (Demand_robust.solve ~peaks:[| 2.; 8. |] ~gamma:1 input);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Capacity planning (§3.3 second use case)                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_capacity_plan_unprotected () =
+  (* Without protection only the two direct links are needed. *)
+  let input = diamond_input () in
+  match Capacity_plan.solve input with
+  | Ok r -> check_float "20 units total" 20. r.Capacity_plan.total_capacity
+  | Error e -> Alcotest.fail e
+
+let test_capacity_plan_ke1 () =
+  (* ke=1 with two tunnels per flow: every tunnel must carry the full flow,
+     so direct links need 10 each, the detour legs 10 each and the shared
+     s1-s4 leg 20: 60 units; a 3x provisioning factor. *)
+  let input = diamond_input () in
+  let config = Ffc.config ~protection:(Te_types.protection ~ke:1 ()) ~mice_fraction:0. () in
+  match Capacity_plan.solve ~config input with
+  | Ok r ->
+    check_float "60 units total" 60. r.Capacity_plan.total_capacity;
+    check_float "factor 3" 3. (Capacity_plan.provisioning_factor input r)
+  | Error e -> Alcotest.fail e
+
+let test_capacity_plan_covers_loads () =
+  let input = random_instance 23 in
+  let config = Ffc.config ~protection:(Te_types.protection ~ke:1 ()) ~mice_fraction:0. () in
+  match Capacity_plan.solve ~config input with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    (* Full demand is granted and the witness allocation fits the planned
+       capacities. *)
+    List.iter
+      (fun (f : Flow.t) ->
+        check_float "full demand" input.Te_types.demands.(f.Flow.id)
+          r.Capacity_plan.alloc.Te_types.bf.(f.Flow.id))
+      input.Te_types.flows;
+    let loads = Te_types.link_loads input r.Capacity_plan.alloc in
+    Array.iteri
+      (fun e load ->
+        Alcotest.(check bool) "load within planned capacity" true
+          (load <= r.Capacity_plan.capacities.(e) +. 1e-6))
+      loads
+
+let test_capacity_plan_robust_on_planned_network () =
+  (* Rebuild the topology with the planned capacities: the witness
+     allocation must survive exhaustive single-link-failure verification
+     there. *)
+  let input = random_instance 29 in
+  let config = Ffc.config ~protection:(Te_types.protection ~ke:1 ()) ~mice_fraction:0. () in
+  match Capacity_plan.solve ~config input with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    let topo2 = Topology.create (Topology.num_switches input.Te_types.topo) in
+    let remap = Hashtbl.create 32 in
+    Array.iter
+      (fun (l : Topology.link) ->
+        let cap = max 1e-6 (r.Capacity_plan.capacities.(l.Topology.id) +. 1e-9) in
+        let nl = Topology.add_link ~delay_ms:l.Topology.delay_ms topo2 l.Topology.src l.Topology.dst cap in
+        Hashtbl.add remap l.Topology.id nl)
+      (Topology.links input.Te_types.topo);
+    let remap_tunnel (t : Tunnel.t) =
+      Tunnel.create ~id:t.Tunnel.id
+        (List.map (fun (l : Topology.link) -> Hashtbl.find remap l.Topology.id) t.Tunnel.links)
+    in
+    let flows2 =
+      List.map
+        (fun (f : Flow.t) ->
+          Flow.create ~id:f.Flow.id ~priority:f.Flow.priority ~src:f.Flow.src ~dst:f.Flow.dst
+            (List.map remap_tunnel f.Flow.tunnels))
+        input.Te_types.flows
+    in
+    let input2 = { input with Te_types.topo = topo2; flows = flows2 } in
+    (match Enumerate.verify_data_plane input2 r.Capacity_plan.alloc ~ke:1 ~kv:0 with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "planned network not robust: %s" e)
+
+(* ------------------------------------------------------------------ *)
+(* Rescale-aware combined protection (this repository's extension)     *)
+(* ------------------------------------------------------------------ *)
+
+let prop_rescale_aware_combined_robust =
+  QCheck.Test.make ~count:10
+    ~name:"rescale-aware FFC survives simultaneous stuck switches and link failures"
+    (QCheck.make (QCheck.Gen.int_range 0 5000))
+    (fun seed ->
+      let input = random_instance seed in
+      let rng = Rng.create (seed + 321) in
+      let old_demands =
+        Array.map (fun d -> d *. (0.4 +. Rng.float rng 1.2)) input.Te_types.demands
+      in
+      let prev =
+        match Basic_te.solve { input with Te_types.demands = old_demands } with
+        | Ok a -> a
+        | Error e -> QCheck.Test.fail_report e
+      in
+      let protection = Te_types.protection ~kc:1 ~ke:1 () in
+      let config =
+        Ffc.config ~protection ~rescale_aware:true ~mice_fraction:0. ~ingress_skip_fraction:0.
+          ()
+      in
+      match Ffc.solve ~config ~prev input with
+      | Error e -> QCheck.Test.fail_report e
+      | Ok r -> (
+        match Enumerate.verify_combined input ~old_alloc:prev ~new_alloc:r.Ffc.alloc ~protection with
+        | Ok () -> true
+        | Error e -> QCheck.Test.fail_report e))
+
+let test_rescale_aware_costs_throughput () =
+  (* The amplified bound can only shrink the feasible region. *)
+  let input = random_instance 77 in
+  let prev = Result.get_ok (Basic_te.solve input) in
+  let protection = Te_types.protection ~kc:1 ~ke:1 () in
+  let solve rescale_aware =
+    let config = Ffc.config ~protection ~rescale_aware ~mice_fraction:0. () in
+    match Ffc.solve ~config ~prev input with
+    | Ok r -> Te_types.throughput r.Ffc.alloc
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "aware <= paper" true (solve true <= solve false +. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration counters                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_subsets_upto () =
+  let s = Enumerate.subsets_upto [ 1; 2; 3 ] 2 in
+  Alcotest.(check int) "1 + 3 + 3 subsets" 7 (List.length s)
+
+let test_constraint_counts () =
+  let input = diamond_input () in
+  (* Control: each link has 1 or 2 contributing ingresses; kc=1 adds one
+     case per ingress per link. *)
+  let cc = Enumerate.control_constraint_count input ~kc:1 in
+  Alcotest.(check bool) "positive" true (cc > 0);
+  let dc1 = Enumerate.data_constraint_count input ~ke:1 ~kv:0 in
+  let dc2 = Enumerate.data_constraint_count input ~ke:2 ~kv:0 in
+  Alcotest.(check bool) "grows with ke" true (dc2 > dc1)
+
+let () =
+  let case name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "extensions"
+    [
+      ( "fairness",
+        [
+          case "symmetric split (regression)" test_fairness_symmetric_split;
+          case "serves light demand" test_fairness_serves_unconstrained_demand;
+          QCheck_alcotest.to_alcotest prop_fairness_improves_worst_rate;
+          QCheck_alcotest.to_alcotest prop_fairness_retains_protection;
+        ] );
+      ( "priority",
+        [
+          case "monotone protection enforced" test_priority_monotonicity_enforced;
+          case "cascade within capacity" test_priority_cascade_within_capacity;
+          case "high class keeps its guarantee" test_priority_high_class_protected;
+        ] );
+      ( "mlu",
+        [
+          case "optimum on the diamond" test_mlu_optimum;
+          case "data FFC raises MLU" test_mlu_with_data_ffc;
+          case "fault MLU bounded" test_mlu_control_ffc_bounds_fault_mlu;
+        ] );
+      ( "update-plan",
+        [
+          case "self transition safe" test_transition_safe_reflexive;
+          case "unsafe swap detected" test_transition_unsafe_detected;
+          case "two-step plan" test_plan_two_step;
+          QCheck_alcotest.to_alcotest prop_plan_transitions_safe;
+        ] );
+      ( "rate-limiter-and-uncertainty",
+        [
+          case "unordered mixes within capacity" test_rate_limiter_unordered_robust;
+          case "uncertain flows frozen and safe" test_uncertainty_freezes_flows;
+          case "ordered mode reserves old config" test_rl_ordered_mode;
+        ] );
+      ( "residual-weights",
+        [
+          case "beats FFC on the diamond" test_residual_weights_beats_ffc_on_diamond;
+          QCheck_alcotest.to_alcotest prop_residual_weights_dominate_ffc;
+        ] );
+      ( "demand-robust",
+        [
+          case "gamma monotone and exact at extremes" test_demand_robust_gamma_monotone;
+          QCheck_alcotest.to_alcotest prop_demand_robust_covers_all_deviations;
+          case "rejects peaks below nominal" test_demand_robust_rejects_bad_peaks;
+        ] );
+      ( "capacity-plan",
+        [
+          case "unprotected minimum" test_capacity_plan_unprotected;
+          case "ke=1 provisioning factor" test_capacity_plan_ke1;
+          case "covers its witness loads" test_capacity_plan_covers_loads;
+          case "planned network verified robust" test_capacity_plan_robust_on_planned_network;
+        ] );
+      ( "rescale-aware",
+        [
+          QCheck_alcotest.to_alcotest prop_rescale_aware_combined_robust;
+          case "costs throughput" test_rescale_aware_costs_throughput;
+        ] );
+      ( "enumeration",
+        [ case "subsets_upto" test_subsets_upto; case "constraint counts" test_constraint_counts ]
+      );
+    ]

@@ -1,0 +1,411 @@
+(* Tests for the LP substrate: expression algebra, both simplex backends on
+   hand-checked instances, and a randomised cross-check of the revised
+   simplex against the dense tableau oracle. *)
+
+open Ffc_lp
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_expr_merge () =
+  let e = Expr.(add (var 0) (add (var ~coeff:2. 1) (var ~coeff:3. 0))) in
+  Alcotest.(check (list (pair int (float 1e-12))))
+    "terms merged" [ (0, 4.); (1, 2.) ] (Expr.terms e)
+
+let test_expr_eval () =
+  let e = Expr.(sub (add (var ~coeff:2. 0) (const 5.)) (var 1)) in
+  check_float "eval" 8. (Expr.eval (fun i -> if i = 0 then 2. else 1.) e)
+
+let test_expr_scale_zero () =
+  let e = Expr.(scale 0. (add (var 0) (const 7.))) in
+  Alcotest.(check (list (pair int (float 1e-12)))) "no terms" [] (Expr.terms e);
+  check_float "const 0" 0. (Expr.constant e)
+
+let test_expr_sum () =
+  let e = Expr.sum (List.init 10 (fun i -> Expr.var i)) in
+  Alcotest.(check int) "10 terms" 10 (List.length (Expr.terms e))
+
+let test_expr_neg () =
+  let e = Expr.(neg (add_term (const 3.) 2. 5)) in
+  check_float "const" (-3.) (Expr.constant e);
+  Alcotest.(check (list (pair int (float 1e-12)))) "terms" [ (5, -2.) ] (Expr.terms e)
+
+(* ------------------------------------------------------------------ *)
+(* Hand-checked LPs on both backends                                   *)
+(* ------------------------------------------------------------------ *)
+
+let backends = [ ("revised", `Revised); ("tableau", `Dense_tableau) ]
+
+let solve_opt ?backend m =
+  match Model.solve ?backend m with
+  | Model.Optimal s -> s
+  | Model.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Model.Unbounded -> Alcotest.fail "unexpected unbounded"
+  | Model.Iteration_limit -> Alcotest.fail "iteration limit"
+
+let test_basic_max backend () =
+  (* max x + y st x + 2y <= 4, 3x + y <= 6 -> x = 8/5, y = 6/5, obj 14/5 *)
+  let m = Model.create () in
+  let x = Model.add_var m and y = Model.add_var m in
+  Model.le m Expr.(add (var x) (var ~coeff:2. y)) (Expr.const 4.);
+  Model.le m Expr.(add (var ~coeff:3. x) (var y)) (Expr.const 6.);
+  Model.maximize m Expr.(add (var x) (var y));
+  let s = solve_opt ~backend m in
+  check_float "obj" 2.8 (Model.objective_value s);
+  check_float "x" 1.6 (Model.value s x);
+  check_float "y" 1.2 (Model.value s y)
+
+let test_min_with_ge backend () =
+  (* min 2x + 3y st x + y >= 4, x <= 3 -> x = 3, y = 1, obj 9 *)
+  let m = Model.create () in
+  let x = Model.add_var ~ub:3. m and y = Model.add_var m in
+  Model.ge m Expr.(add (var x) (var y)) (Expr.const 4.);
+  Model.minimize m Expr.(add (var ~coeff:2. x) (var ~coeff:3. y));
+  let s = solve_opt ~backend m in
+  check_float "obj" 9. (Model.objective_value s)
+
+let test_equality backend () =
+  (* max x st x + y = 5, y >= 2 -> x = 3 *)
+  let m = Model.create () in
+  let x = Model.add_var m and y = Model.add_var ~lb:2. m in
+  Model.eq m Expr.(add (var x) (var y)) (Expr.const 5.);
+  Model.maximize m (Expr.var x);
+  let s = solve_opt ~backend m in
+  check_float "x" 3. (Model.value s x)
+
+let test_free_var backend () =
+  (* min y st y >= x - 4, y >= -x, 0 <= x <= 10: optimum y = -2 at x = 2 *)
+  let m = Model.create () in
+  let x = Model.add_var ~ub:10. m in
+  let y = Model.add_var ~lb:neg_infinity m in
+  Model.ge m (Expr.var y) Expr.(add_term (const (-4.)) 1. x);
+  Model.ge m (Expr.var y) (Expr.var ~coeff:(-1.) x);
+  Model.minimize m (Expr.var y);
+  let s = solve_opt ~backend m in
+  check_float "obj" (-2.) (Model.objective_value s)
+
+let test_fixed_var backend () =
+  let m = Model.create () in
+  let x = Model.add_var ~lb:2.5 ~ub:2.5 m and y = Model.add_var ~ub:4. m in
+  Model.le m Expr.(add (var x) (var y)) (Expr.const 6.);
+  Model.maximize m Expr.(add (var x) (var ~coeff:2. y));
+  let s = solve_opt ~backend m in
+  check_float "obj" 9.5 (Model.objective_value s);
+  check_float "x fixed" 2.5 (Model.value s x)
+
+let test_infeasible backend () =
+  let m = Model.create () in
+  let x = Model.add_var ~ub:3. m in
+  Model.ge m (Expr.var x) (Expr.const 5.);
+  Model.maximize m (Expr.var x);
+  match Model.solve ~backend m with
+  | Model.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_infeasible_rows backend () =
+  let m = Model.create () in
+  let x = Model.add_var m and y = Model.add_var m in
+  Model.eq m Expr.(add (var x) (var y)) (Expr.const 1.);
+  Model.ge m Expr.(add (var x) (var y)) (Expr.const 2.);
+  Model.maximize m (Expr.var x);
+  match Model.solve ~backend m with
+  | Model.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_unbounded backend () =
+  let m = Model.create () in
+  let x = Model.add_var m and y = Model.add_var m in
+  Model.ge m Expr.(add (var x) (var y)) (Expr.const 1.);
+  Model.maximize m (Expr.var x);
+  match Model.solve ~backend m with
+  | Model.Unbounded -> ()
+  | Model.Optimal _ -> Alcotest.fail "expected unbounded, got optimal"
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_degenerate backend () =
+  (* Redundant constraints active at the optimum. *)
+  let m = Model.create () in
+  let x = Model.add_var m and y = Model.add_var m in
+  Model.le m Expr.(add (var x) (var y)) (Expr.const 2.);
+  Model.le m Expr.(add (var ~coeff:2. x) (var ~coeff:2. y)) (Expr.const 4.);
+  Model.le m (Expr.var x) (Expr.const 2.);
+  Model.le m (Expr.var y) (Expr.const 2.);
+  Model.maximize m Expr.(add (var x) (var y));
+  let s = solve_opt ~backend m in
+  check_float "obj" 2. (Model.objective_value s)
+
+let test_neg_rhs backend () =
+  (* Constraint with negative rhs exercising artificial signs. *)
+  let m = Model.create () in
+  let x = Model.add_var ~lb:neg_infinity m in
+  Model.le m (Expr.var x) (Expr.const (-3.));
+  Model.maximize m (Expr.var x);
+  let s = solve_opt ~backend m in
+  check_float "x" (-3.) (Model.value s x)
+
+let test_resolve backend () =
+  (* Models stay usable: add a constraint, re-solve, objective tightens. *)
+  let m = Model.create () in
+  let x = Model.add_var ~ub:10. m in
+  Model.maximize m (Expr.var x);
+  let s1 = solve_opt ~backend m in
+  check_float "first" 10. (Model.objective_value s1);
+  Model.le m (Expr.var x) (Expr.const 4.);
+  let s2 = solve_opt ~backend m in
+  check_float "second" 4. (Model.objective_value s2)
+
+let test_empty_objective backend () =
+  (* Pure feasibility problem. *)
+  let m = Model.create () in
+  let x = Model.add_var ~ub:2. m in
+  Model.ge m (Expr.var x) (Expr.const 1.);
+  match Model.solve ~backend m with
+  | Model.Optimal s ->
+    let v = Model.value s x in
+    Alcotest.(check bool) "within bounds" true (v >= 1. -. 1e-9 && v <= 2. +. 1e-9)
+  | _ -> Alcotest.fail "expected optimal"
+
+(* ------------------------------------------------------------------ *)
+(* Randomised cross-check                                              *)
+(* ------------------------------------------------------------------ *)
+
+type lp_spec = {
+  nvars : int;
+  cap_by_bounds : bool;
+  objc : float list;
+  rows : (float list * [ `Le | `Ge | `Eq ] * float) list;
+}
+
+let random_lp_gen =
+  let open QCheck.Gen in
+  let coeff = map (fun c -> float_of_int (c - 3)) (int_bound 6) in
+  let* nvars = int_range 1 6 in
+  let* nrows = int_range 1 8 in
+  let* cap_by_bounds = bool in
+  let* objc = list_repeat nvars coeff in
+  let* rows =
+    list_repeat nrows
+      (let* terms = list_repeat nvars coeff in
+       let* rhs = map (fun r -> float_of_int (r - 5)) (int_bound 20) in
+       let* sense = oneofl [ `Le; `Ge; `Eq ] in
+       return (terms, sense, rhs))
+  in
+  return { nvars; cap_by_bounds; objc; rows }
+
+let build_random_lp spec =
+  let m = Model.create () in
+  let vars =
+    List.init spec.nvars (fun _ ->
+        if spec.cap_by_bounds then Model.add_var ~ub:10. m else Model.add_var m)
+  in
+  if not spec.cap_by_bounds then Model.le m (Expr.sum (List.map Expr.var vars)) (Expr.const 25.);
+  List.iter
+    (fun (terms, sense, rhs) ->
+      let lhs = Expr.sum (List.map2 (fun v c -> Expr.var ~coeff:c v) vars terms) in
+      let r = Expr.const rhs in
+      match sense with
+      | `Le -> Model.le m lhs r
+      | `Ge -> Model.ge m lhs r
+      | `Eq -> Model.eq m lhs r)
+    spec.rows;
+  Model.maximize m (Expr.sum (List.map2 (fun v c -> Expr.var ~coeff:c v) vars spec.objc));
+  (m, vars)
+
+let status_name = function
+  | Model.Optimal _ -> "optimal"
+  | Model.Infeasible -> "infeasible"
+  | Model.Unbounded -> "unbounded"
+  | Model.Iteration_limit -> "iterlimit"
+
+let lp_arbitrary = QCheck.make ~print:(fun _ -> "<lp spec>") random_lp_gen
+
+let prop_backends_agree =
+  QCheck.Test.make ~count:400 ~name:"revised simplex agrees with tableau oracle" lp_arbitrary
+    (fun spec ->
+      let m, _ = build_random_lp spec in
+      let r1 = Model.solve ~backend:`Revised m in
+      let r2 = Model.solve ~backend:`Dense_tableau m in
+      match (r1, r2) with
+      | Model.Iteration_limit, _ | _, Model.Iteration_limit -> QCheck.assume_fail ()
+      | Model.Optimal s1, Model.Optimal s2 ->
+        abs_float (Model.objective_value s1 -. Model.objective_value s2) < 1e-5
+      | Model.Infeasible, Model.Infeasible | Model.Unbounded, Model.Unbounded -> true
+      | _ ->
+        QCheck.Test.fail_reportf "status mismatch: %s vs %s" (status_name r1) (status_name r2))
+
+let prop_feasible =
+  QCheck.Test.make ~count:400 ~name:"revised simplex solutions satisfy all constraints"
+    lp_arbitrary (fun spec ->
+      let m, vars = build_random_lp spec in
+      match Model.solve ~backend:`Revised m with
+      | Model.Optimal s ->
+        let xs = List.map (Model.value s) vars in
+        let row_ok (terms, sense, rhs) =
+          let v = List.fold_left2 (fun acc c x -> acc +. (c *. x)) 0. terms xs in
+          match sense with
+          | `Le -> v <= rhs +. 1e-6
+          | `Ge -> v >= rhs -. 1e-6
+          | `Eq -> abs_float (v -. rhs) <= 1e-6
+        in
+        let bounds_ok =
+          List.for_all
+            (fun x -> x >= -1e-9 && (not spec.cap_by_bounds || x <= 10. +. 1e-6))
+            xs
+        in
+        bounds_ok && List.for_all row_ok spec.rows
+      | _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Presolve                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_presolve_singleton_rows () =
+  let lb = [| 0.; 0. |] and ub = [| 10.; 10. |] in
+  let rows =
+    [
+      ([ (0, 2.) ], Problem.Le, 8.); (* x0 <= 4 *)
+      ([ (1, -1.) ], Problem.Le, -3.); (* x1 >= 3 *)
+    ]
+  in
+  match Presolve.reduce ~lb ~ub ~rows with
+  | Presolve.Reduced { lb; ub; rows } ->
+    Alcotest.(check int) "rows absorbed" 0 (List.length rows);
+    check_float "ub tightened" 4. ub.(0);
+    check_float "lb tightened" 3. lb.(1)
+  | Presolve.Infeasible m -> Alcotest.fail m
+
+let test_presolve_fixed_propagation () =
+  (* x0 = 5 (eq singleton) propagates into the second row, which becomes a
+     singleton on x1 and tightens its bound. *)
+  let lb = [| 0.; 0. |] and ub = [| 10.; 10. |] in
+  let rows =
+    [ ([ (0, 1.) ], Problem.Eq, 5.); ([ (0, 1.); (1, 1.) ], Problem.Le, 7.) ]
+  in
+  match Presolve.reduce ~lb ~ub ~rows with
+  | Presolve.Reduced { lb; ub; rows } ->
+    Alcotest.(check int) "all rows absorbed" 0 (List.length rows);
+    check_float "x0 fixed" 5. lb.(0);
+    check_float "x0 fixed ub" 5. ub.(0);
+    check_float "x1 ub" 2. ub.(1)
+  | Presolve.Infeasible m -> Alcotest.fail m
+
+let test_presolve_detects_infeasible () =
+  let lb = [| 0. |] and ub = [| 3. |] in
+  let rows = [ ([ (0, 1.) ], Problem.Ge, 5.) ] in
+  match Presolve.reduce ~lb ~ub ~rows with
+  | Presolve.Infeasible _ -> ()
+  | Presolve.Reduced _ -> Alcotest.fail "expected infeasible"
+
+let test_presolve_constant_row () =
+  let lb = [| 2.; 2. |] and ub = [| 2.; 5. |] in
+  (* x0 fixed at 2: row becomes 0 <= 1, satisfied and dropped. *)
+  let rows = [ ([ (0, 1.) ], Problem.Le, 3.) ] in
+  match Presolve.reduce ~lb ~ub ~rows with
+  | Presolve.Reduced { rows; _ } -> Alcotest.(check int) "dropped" 0 (List.length rows)
+  | Presolve.Infeasible m -> Alcotest.fail m
+
+let prop_presolve_preserves_solutions =
+  QCheck.Test.make ~count:400 ~name:"presolve preserves status and optimum" lp_arbitrary
+    (fun spec ->
+      let m, _ = build_random_lp spec in
+      let with_p = Model.solve ~presolve:true m in
+      let without_p = Model.solve ~presolve:false m in
+      match (with_p, without_p) with
+      | Model.Iteration_limit, _ | _, Model.Iteration_limit -> QCheck.assume_fail ()
+      | Model.Optimal a, Model.Optimal b ->
+        abs_float (Model.objective_value a -. Model.objective_value b) < 1e-5
+      | Model.Infeasible, Model.Infeasible | Model.Unbounded, Model.Unbounded -> true
+      | a, b ->
+        QCheck.Test.fail_reportf "presolve changed status: %s vs %s" (status_name a)
+          (status_name b))
+
+(* Larger random instances: the tableau oracle is still tractable at this
+   size, and degeneracy/cycling risks grow with dimension. *)
+let larger_lp_gen =
+  let open QCheck.Gen in
+  let coeff = map (fun c -> float_of_int (c - 4)) (int_bound 8) in
+  let* nvars = int_range 8 12 in
+  let* nrows = int_range 10 16 in
+  let* objc = list_repeat nvars coeff in
+  let* rows =
+    list_repeat nrows
+      (let* terms = list_repeat nvars coeff in
+       let* rhs = map (fun r -> float_of_int (r - 10)) (int_bound 40) in
+       let* sense = oneofl [ `Le; `Ge; `Eq ] in
+       return (terms, sense, rhs))
+  in
+  return { nvars; cap_by_bounds = true; objc; rows }
+
+let prop_backends_agree_larger =
+  QCheck.Test.make ~count:80 ~name:"backends agree on larger instances"
+    (QCheck.make ~print:(fun _ -> "<larger lp>") larger_lp_gen)
+    (fun spec ->
+      let m, _ = build_random_lp spec in
+      match (Model.solve ~backend:`Revised m, Model.solve ~backend:`Dense_tableau m) with
+      | Model.Iteration_limit, _ | _, Model.Iteration_limit -> QCheck.assume_fail ()
+      | Model.Optimal s1, Model.Optimal s2 ->
+        abs_float (Model.objective_value s1 -. Model.objective_value s2) < 1e-4
+      | Model.Infeasible, Model.Infeasible | Model.Unbounded, Model.Unbounded -> true
+      | a, b ->
+        QCheck.Test.fail_reportf "status mismatch: %s vs %s" (status_name a) (status_name b))
+
+let test_printers () =
+  let m = Model.create ~name:"demo" () in
+  let x = Model.add_var ~name:"rate" m in
+  Model.le m (Expr.var x) (Expr.const 1.);
+  Alcotest.(check string) "var name" "rate" (Model.var_name m x);
+  let s = Format.asprintf "%a" Model.pp_stats m in
+  Alcotest.(check bool) "stats mention rows" true (String.length s > 0);
+  let e = Format.asprintf "%a" Expr.pp (Expr.add (Expr.var ~coeff:2. x) (Expr.const 3.)) in
+  Alcotest.(check bool) "expr printed" true (String.length e > 0)
+
+let () =
+  let case name f = Alcotest.test_case name `Quick f in
+  let per_backend name f =
+    List.map (fun (bname, b) -> case (Printf.sprintf "%s (%s)" name bname) (f b)) backends
+  in
+  Alcotest.run "lp"
+    [
+      ( "expr",
+        [
+          case "terms merge" test_expr_merge;
+          case "eval" test_expr_eval;
+          case "scale by zero" test_expr_scale_zero;
+          case "sum of many" test_expr_sum;
+          case "negation" test_expr_neg;
+        ] );
+      ( "simplex",
+        List.concat
+          [
+            per_backend "basic max" test_basic_max;
+            per_backend "min with >=" test_min_with_ge;
+            per_backend "equality" test_equality;
+            per_backend "free variable" test_free_var;
+            per_backend "fixed variable" test_fixed_var;
+            per_backend "infeasible bounds" test_infeasible;
+            per_backend "infeasible rows" test_infeasible_rows;
+            per_backend "unbounded" test_unbounded;
+            per_backend "degenerate" test_degenerate;
+            per_backend "negative rhs" test_neg_rhs;
+            per_backend "re-solve" test_resolve;
+            per_backend "pure feasibility" test_empty_objective;
+          ] );
+      ( "presolve",
+        [
+          case "singleton rows become bounds" test_presolve_singleton_rows;
+          case "fixed variables propagate" test_presolve_fixed_propagation;
+          case "detects infeasibility" test_presolve_detects_infeasible;
+          case "drops satisfied constant rows" test_presolve_constant_row;
+          QCheck_alcotest.to_alcotest prop_presolve_preserves_solutions;
+        ] );
+      ( "random",
+        [
+          QCheck_alcotest.to_alcotest prop_backends_agree;
+          QCheck_alcotest.to_alcotest prop_feasible;
+          QCheck_alcotest.to_alcotest prop_backends_agree_larger;
+        ] );
+      ("printers", [ case "names and formatters" test_printers ]);
+    ]
