@@ -866,6 +866,120 @@ let capacity_planning () =
     "(today operators over-provision blindly; FFC computes the exact requirement, §3.3)\n"
 
 (* ------------------------------------------------------------------ *)
+(* LP warm-start: cold vs warm-started revised simplex                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-solving the FFC LP interval after interval is the controller's hot
+   loop; this measures what warm-starting from the previous interval's
+   optimal basis buys when only the demands change. Besides the table it
+   emits machine-readable BENCH_lp.json so the solver's perf trajectory is
+   tracked across commits. *)
+let lp_warm () =
+  section "LP warm-start: cold vs warm revised simplex across a demand series (L-Net)";
+  let module Problem = Ffc_lp.Problem in
+  let sc = Lazy.force lnet in
+  Printf.printf "%s\n" (scenario_summary sc);
+  let input = sc.Sim.Scenario.input in
+  let prev = match Basic_te.solve input with Ok a -> a | Error e -> failwith e in
+  (* mice_fraction 0: the mice-flow shortcut picks its flow set from the
+     demand values, which would change the LP structure between intervals
+     and defeat basis reuse. *)
+  let config =
+    Ffc.config ~protection:(Te_types.protection ~kc:2 ~ke:1 ()) ~encoding:`Duality
+      ~mice_fraction:0. ()
+  in
+  let n = intervals 12 in
+  let series = Sim.Scenario.demand_series (Rng.create 314) sc ~scale:1.0 ~intervals:n in
+  (* Presolve off for both arms: it reduces the LP data-dependently, so
+     with it on the basis would not transfer across demand matrices (and
+     the cold/warm iteration counts would not be comparable). *)
+  let solve_one ?warm_start demands =
+    let input_t = { input with Te_types.demands } in
+    match Ffc.solve ~config ~prev ~presolve:false ?warm_start input_t with
+    | Ok r -> r
+    | Error e -> failwith ("lp-warm: " ^ e)
+  in
+  let iters (r : Ffc.result) =
+    match r.Ffc.stats.Ffc.solver with
+    | Some s -> s.Problem.phase1_iterations + s.Problem.phase2_iterations
+    | None -> 0
+  in
+  let t =
+    Table.create
+      [ "interval"; "cold ms"; "cold iters"; "warm ms"; "warm iters"; "warm used" ]
+  in
+  let cold_ms = ref [] and warm_ms = ref [] in
+  let cold_iters = ref [] and warm_iters = ref [] in
+  let warm_used = ref 0 and restarts = ref 0 and compared = ref 0 in
+  (* Interval 0 seeds the warm chain; from interval 1 on, each demand matrix
+     is solved both cold and warm-started from the previous interval's
+     (warm-chain) basis. *)
+  let chain = ref None in
+  Array.iteri
+    (fun i demands ->
+      if i = 0 then begin
+        let r = solve_one demands in
+        chain := r.Ffc.basis
+      end
+      else begin
+        let cold = solve_one demands in
+        let warm = solve_one ?warm_start:!chain demands in
+        chain := warm.Ffc.basis;
+        incr compared;
+        cold_ms := cold.Ffc.stats.Ffc.solve_ms :: !cold_ms;
+        warm_ms := warm.Ffc.stats.Ffc.solve_ms :: !warm_ms;
+        cold_iters := float_of_int (iters cold) :: !cold_iters;
+        warm_iters := float_of_int (iters warm) :: !warm_iters;
+        let used, rst =
+          match warm.Ffc.stats.Ffc.solver with
+          | Some s -> (s.Problem.warm_started, s.Problem.restarts)
+          | None -> (false, 0)
+        in
+        if used then incr warm_used;
+        restarts := !restarts + rst;
+        Option.iter
+          (fun s -> Format.printf "  warm %d: %a@." i Ffc_lp.Problem.pp_stats s)
+          warm.Ffc.stats.Ffc.solver;
+        Table.add_row t
+          [
+            string_of_int i;
+            Printf.sprintf "%.1f" cold.Ffc.stats.Ffc.solve_ms;
+            string_of_int (iters cold);
+            Printf.sprintf "%.1f" warm.Ffc.stats.Ffc.solve_ms;
+            string_of_int (iters warm);
+            (if used then "yes" else "no (cold fallback)");
+          ]
+      end)
+    series;
+  Table.print t;
+  let med = Stats.median and p95 = Stats.percentile 95. in
+  Printf.printf
+    "cold: median %.1f ms / %.0f iters;  warm: median %.1f ms / %.0f iters;  warm used %d/%d\n"
+    (med !cold_ms) (med !cold_iters) (med !warm_ms) (med !warm_iters) !warm_used !compared;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"scenario\": \"%s\",\n\
+      \  \"config\": \"kc=2,ke=1,duality\",\n\
+      \  \"compared_intervals\": %d,\n\
+      \  \"cold\": { \"median_ms\": %.3f, \"p95_ms\": %.3f, \"median_iters\": %.0f, \"p95_iters\": %.0f },\n\
+      \  \"warm\": { \"median_ms\": %.3f, \"p95_ms\": %.3f, \"median_iters\": %.0f, \"p95_iters\": %.0f,\n\
+      \             \"warm_started\": %d, \"cold_fallbacks\": %d, \"restarts\": %d },\n\
+      \  \"iter_reduction_median\": %.3f\n\
+       }\n"
+      sc.Sim.Scenario.name !compared (med !cold_ms) (p95 !cold_ms) (med !cold_iters)
+      (p95 !cold_iters) (med !warm_ms) (p95 !warm_ms) (med !warm_iters) (p95 !warm_iters)
+      !warm_used
+      (!compared - !warm_used)
+      !restarts
+      (if med !cold_iters > 0. then 1. -. (med !warm_iters /. med !cold_iters) else 0.)
+  in
+  let oc = open_out "BENCH_lp.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_lp.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -886,6 +1000,7 @@ let experiments =
     ("ablation-baseline", ablation_baseline);
     ("capacity-planning", capacity_planning);
     ("scaling", scaling);
+    ("lp-warm", lp_warm);
   ]
 
 let () =

@@ -67,8 +67,12 @@ let solve_cmd network seed scale kc ke kv encoding objective =
     match Ffc.solve ~config ~prev input with
     | Ok r ->
       print_alloc input r.Ffc.alloc;
-      Printf.printf "LP: %d vars, %d rows; solved in %.0f ms\n" r.Ffc.stats.Ffc.lp_vars
-        r.Ffc.stats.Ffc.lp_rows r.Ffc.stats.Ffc.solve_ms
+      Printf.printf "LP: %d vars, %d rows; build %.1f ms, solve %.1f ms\n"
+        r.Ffc.stats.Ffc.lp_vars r.Ffc.stats.Ffc.lp_rows r.Ffc.stats.Ffc.build_ms
+        r.Ffc.stats.Ffc.solve_ms;
+      Option.iter
+        (fun s -> Format.printf "simplex: %a@." Ffc_lp.Problem.pp_stats s)
+        r.Ffc.stats.Ffc.solver
     | Error e -> failwith e)
   | "fairness" -> (
     match Fairness.solve ~config ~prev input with

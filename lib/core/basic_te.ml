@@ -1,13 +1,17 @@
 open Ffc_lp
 
-let solve ?backend ?reserved (input : Te_types.input) =
+let solve_full ?backend ?reserved ?presolve ?warm_start (input : Te_types.input) =
   let model = Model.create ~name:"basic-te" () in
   let vars = Formulation.make_vars model input in
   Formulation.capacity_constraints ?reserved vars input;
   Formulation.demand_constraints vars input;
   Model.maximize model (Formulation.total_rate_expr vars);
-  match Model.solve ?backend model with
-  | Model.Optimal sol -> Ok (Formulation.alloc_of_solution vars input sol)
+  match Model.solve ?backend ?presolve ?warm_start model with
+  | Model.Optimal sol ->
+    Ok (Formulation.alloc_of_solution vars input sol, Model.solution_basis sol)
   | Model.Infeasible -> Error "basic TE: infeasible (unexpected)"
   | Model.Unbounded -> Error "basic TE: unbounded (unexpected)"
   | Model.Iteration_limit -> Error "basic TE: iteration limit reached"
+
+let solve ?backend ?reserved (input : Te_types.input) =
+  Result.map fst (solve_full ?backend ?reserved input)

@@ -10,3 +10,16 @@ val solve :
     multi-priority cascade). Errors are returned as a human-readable
     message (infeasibility cannot occur here — zero is always feasible — so
     an [Error] indicates a solver failure). *)
+
+val solve_full :
+  ?backend:Ffc_lp.Model.backend ->
+  ?reserved:float array ->
+  ?presolve:bool ->
+  ?warm_start:Ffc_lp.Problem.basis ->
+  Te_types.input ->
+  (Te_types.allocation * Ffc_lp.Problem.basis option, string) result
+(** Like {!solve} but also returns the final simplex basis, and accepts one
+    from a previous interval's solve of the same input shape to warm-start
+    (stale bases fall back to a cold start inside the solver). Chain bases
+    with [~presolve:false] so the column layout is identical across
+    re-solves. *)

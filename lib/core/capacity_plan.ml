@@ -10,7 +10,7 @@ type result = {
 
 let solve ?(config = Ffc.config ()) ?prev ?(cost = fun _ -> 1.)
     ?(min_capacity = fun _ -> 0.) (input : Te_types.input) =
-  let t0 = Sys.time () in
+  let t0 = Ffc_util.Clock.now_ms () in
   let model = Model.create ~name:"capacity-plan" () in
   let vars = Formulation.make_vars ~fixed_demand:true model input in
   Formulation.demand_constraints vars input;
@@ -44,6 +44,8 @@ let solve ?(config = Ffc.config ()) ?prev ?(cost = fun _ -> 1.)
          (Array.to_list (Topology.links input.Te_types.topo)))
   in
   Model.minimize model objective;
+  let build_ms = Ffc_util.Clock.since_ms t0 in
+  let t1 = Ffc_util.Clock.now_ms () in
   match Model.solve ~backend:config.Ffc.backend model with
   | Model.Optimal sol ->
     let capacities = Array.map (fun v -> max 0. (Model.value sol v)) cap_vars in
@@ -52,12 +54,7 @@ let solve ?(config = Ffc.config ()) ?prev ?(cost = fun _ -> 1.)
         capacities;
         alloc = Formulation.alloc_of_solution vars input sol;
         total_capacity = Model.objective_value sol;
-        stats =
-          {
-            Ffc.lp_vars = Model.num_vars model;
-            lp_rows = Model.num_constraints model;
-            solve_ms = (Sys.time () -. t0) *. 1000.;
-          };
+        stats = Ffc.mk_stats ~build_ms ~solve_ms:(Ffc_util.Clock.since_ms t1) model;
       }
   | Model.Infeasible ->
     Error

@@ -11,7 +11,7 @@ let solve ?(config = Ffc.config ()) ~peaks ~gamma (input : Te_types.input) =
       if peaks.(id) < input.Te_types.demands.(id) -. 1e-9 then
         invalid_arg "Demand_robust.solve: peak below nominal demand")
     input.Te_types.flows;
-  let t0 = Sys.time () in
+  let t0 = Ffc_util.Clock.now_ms () in
   let model = Model.create ~name:"demand-robust" () in
   (* Provision tunnels for the peaks: b_f pinned to dhat_f. *)
   let peak_input = { input with Te_types.demands = Array.copy peaks } in
@@ -52,18 +52,15 @@ let solve ?(config = Ffc.config ()) ~peaks ~gamma (input : Te_types.input) =
           (Expr.add !nominal excess))
     (Topology.links input.Te_types.topo);
   Model.minimize model (Expr.var u);
+  let build_ms = Ffc_util.Clock.since_ms t0 in
+  let t1 = Ffc_util.Clock.now_ms () in
   match Model.solve ~backend:config.Ffc.backend model with
   | Model.Optimal sol ->
     Ok
       {
         alloc = Formulation.alloc_of_solution vars peak_input sol;
         mlu = Model.value sol u;
-        stats =
-          {
-            Ffc.lp_vars = Model.num_vars model;
-            lp_rows = Model.num_constraints model;
-            solve_ms = (Sys.time () -. t0) *. 1000.;
-          };
+        stats = Ffc.mk_stats ~build_ms ~solve_ms:(Ffc_util.Clock.since_ms t1) model;
       }
   | Model.Infeasible -> Error "demand-robust TE: infeasible (unexpected)"
   | Model.Unbounded -> Error "demand-robust TE: unbounded (unexpected)"

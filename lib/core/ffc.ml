@@ -19,9 +19,26 @@ let config ?(protection = Te_types.no_protection) ?(encoding = `Sorting_network)
     ?(rescale_aware = false) ?(backend = `Revised) () =
   { protection; encoding; rl_mode; mice_fraction; ingress_skip_fraction; rescale_aware; backend }
 
-type stats = { lp_vars : int; lp_rows : int; solve_ms : float }
+type stats = {
+  lp_vars : int;
+  lp_rows : int;
+  build_ms : float;
+  solve_ms : float;
+  solver : Problem.solver_stats option;
+}
 
-type result = { alloc : Te_types.allocation; stats : stats }
+type result = { alloc : Te_types.allocation; stats : stats; basis : Problem.basis option }
+
+(* Shared by the formulation variants (MLU, demand-robust, ...): package the
+   model dimensions, wall-clock split and solver instrumentation. *)
+let mk_stats ~build_ms ~solve_ms model =
+  {
+    lp_vars = Model.num_vars model;
+    lp_rows = Model.num_constraints model;
+    build_ms;
+    solve_ms;
+    solver = Model.last_stats model;
+  }
 
 (* Flows collectively carrying at most [fraction] of total demand, smallest
    first (§6 mice optimisation). *)
@@ -238,27 +255,38 @@ let build ?(config = config ()) ?prev ?prev2 ?(uncertain_flows = []) ?reserved
   add_data_plane_constraints cfg vars input;
   vars
 
-let solve ?(config = config ()) ?prev ?prev2 ?uncertain_flows ?reserved
+let solve ?(config = config ()) ?prev ?prev2 ?uncertain_flows ?reserved ?presolve ?warm_start
     (input : Te_types.input) =
-  let t0 = Sys.time () in
+  let t0 = Ffc_util.Clock.now_ms () in
   match build ~config ?prev ?prev2 ?uncertain_flows ?reserved input with
   | exception Invalid_argument msg -> Error msg
   | vars -> (
     let model = vars.Formulation.model in
     Model.maximize model (Formulation.total_rate_expr vars);
-    match Model.solve ~backend:config.backend model with
+    let build_ms = Ffc_util.Clock.since_ms t0 in
+    let t1 = Ffc_util.Clock.now_ms () in
+    (* Warm-starting only makes sense against a structurally stable problem:
+       presolve absorbs rows depending on the numeric data, so two builds of
+       the same formulation with different demands can disagree on row count
+       (the basis would be rejected) or row order (worse: slacks silently
+       re-mapped). Callers chaining bases should pass ~presolve:false on
+       every solve of the chain. *)
+    let outcome = Model.solve ~backend:config.backend ?presolve ?warm_start model in
+    let solve_ms = Ffc_util.Clock.since_ms t1 in
+    let fail what =
+      match Model.last_stats model with
+      | Some st when st.Problem.status_reason <> "" ->
+        Error (Printf.sprintf "FFC TE: %s (%s)" what st.Problem.status_reason)
+      | _ -> Error (Printf.sprintf "FFC TE: %s" what)
+    in
+    match outcome with
     | Model.Optimal sol ->
-      let solve_ms = (Sys.time () -. t0) *. 1000. in
       Ok
         {
           alloc = Formulation.alloc_of_solution vars input sol;
-          stats =
-            {
-              lp_vars = Model.num_vars model;
-              lp_rows = Model.num_constraints model;
-              solve_ms;
-            };
+          stats = mk_stats ~build_ms ~solve_ms model;
+          basis = Model.solution_basis sol;
         }
-    | Model.Infeasible -> Error "FFC TE: infeasible"
-    | Model.Unbounded -> Error "FFC TE: unbounded (unexpected)"
-    | Model.Iteration_limit -> Error "FFC TE: iteration limit reached")
+    | Model.Infeasible -> fail "infeasible"
+    | Model.Unbounded -> fail "unbounded (unexpected)"
+    | Model.Iteration_limit -> fail "iteration limit reached")

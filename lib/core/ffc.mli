@@ -60,9 +60,27 @@ val config :
     limiters, paper-faithful (non-rescale-aware) combined protection,
     revised-simplex backend. *)
 
-type stats = { lp_vars : int; lp_rows : int; solve_ms : float }
+type stats = {
+  lp_vars : int;
+  lp_rows : int;
+  build_ms : float;  (** wall-clock time constructing the model *)
+  solve_ms : float;  (** wall-clock time inside the LP solver *)
+  solver : Ffc_lp.Problem.solver_stats option;
+      (** simplex instrumentation (iterations, refactorisations, warm-start
+          outcome, ...) when the backend reports it *)
+}
 
-type result = { alloc : Te_types.allocation; stats : stats }
+type result = {
+  alloc : Te_types.allocation;
+  stats : stats;
+  basis : Ffc_lp.Problem.basis option;
+      (** final simplex basis; feed to the next [solve ?warm_start] of the
+          same formulation (e.g. the following TE interval) *)
+}
+
+val mk_stats : build_ms:float -> solve_ms:float -> Ffc_lp.Model.t -> stats
+(** Package model dimensions, the wall-clock split and the backend's last
+    solver instrumentation; shared by the formulation variants. *)
 
 (** {2 Constraint builders}
 
@@ -106,10 +124,19 @@ val solve :
   ?prev2:Te_types.allocation ->
   ?uncertain_flows:int list ->
   ?reserved:float array ->
+  ?presolve:bool ->
+  ?warm_start:Ffc_lp.Problem.basis ->
   Te_types.input ->
   (result, string) Stdlib.result
-(** [build] + maximise throughput + extract, timing the whole computation.
-    [prev] is the currently-installed allocation (required when
-    [protection.kc > 0]); [uncertain_flows] (with [prev2]) marks flows whose
-    last update was unconfirmed (§5.6): their configuration is frozen and
-    planned for either of the last two states. *)
+(** [build] + maximise throughput + extract, timing model construction and
+    the solve separately (monotonic wall clock). [prev] is the
+    currently-installed allocation (required when [protection.kc > 0]);
+    [uncertain_flows] (with [prev2]) marks flows whose last update was
+    unconfirmed (§5.6): their configuration is frozen and planned for either
+    of the last two states. [warm_start] seeds the revised simplex with the
+    [basis] of a previous solve of the same formulation; a stale or
+    mismatched basis falls back to a cold start (see
+    {!Ffc_lp.Problem.solver_stats}). Because presolve reduces the problem
+    data-dependently, callers chaining bases across re-solves should pass
+    [~presolve:false] on every solve of the chain so the column layout stays
+    stable. *)

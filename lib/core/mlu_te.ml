@@ -9,7 +9,7 @@ type result = {
 }
 
 let solve ?(config = Ffc.config ()) ?prev ?(sigma = 1.) (input : Te_types.input) =
-  let t0 = Sys.time () in
+  let t0 = Ffc_util.Clock.now_ms () in
   let model = Model.create ~name:"mlu-te" () in
   let vars = Formulation.make_vars ~fixed_demand:true model input in
   Formulation.demand_constraints vars input;
@@ -45,6 +45,8 @@ let solve ?(config = Ffc.config ()) ?prev ?(sigma = 1.) (input : Te_types.input)
     | Some uf -> Expr.add (Expr.var u) (Expr.var ~coeff:sigma uf)
   in
   Model.minimize model objective;
+  let build_ms = Ffc_util.Clock.since_ms t0 in
+  let t1 = Ffc_util.Clock.now_ms () in
   match Model.solve ~backend:config.Ffc.backend model with
   | Model.Optimal sol ->
     Ok
@@ -52,12 +54,7 @@ let solve ?(config = Ffc.config ()) ?prev ?(sigma = 1.) (input : Te_types.input)
         alloc = Formulation.alloc_of_solution vars input sol;
         mlu = Model.value sol u;
         fault_mlu = Option.map (Model.value sol) uf;
-        stats =
-          {
-            Ffc.lp_vars = Model.num_vars model;
-            lp_rows = Model.num_constraints model;
-            solve_ms = (Sys.time () -. t0) *. 1000.;
-          };
+        stats = Ffc.mk_stats ~build_ms ~solve_ms:(Ffc_util.Clock.since_ms t1) model;
       }
   | Model.Infeasible -> Error "MLU TE: infeasible (check tau_f > 0 for all flows)"
   | Model.Unbounded -> Error "MLU TE: unbounded (unexpected)"

@@ -18,7 +18,7 @@ let check_monotone config_of classes =
   in
   go classes
 
-let solve ~config_of ?prev (input : Te_types.input) =
+let solve_warm ~config_of ?prev ?presolve ?(warm_starts = []) (input : Te_types.input) =
   let classes = priorities input in
   check_monotone config_of classes;
   let nlinks = Topology.num_links input.Te_types.topo in
@@ -31,7 +31,11 @@ let solve ~config_of ?prev (input : Te_types.input) =
         List.filter (fun (f : Flow.t) -> f.Flow.priority = prio) input.Te_types.flows
       in
       let class_input = { input with Te_types.flows = class_flows } in
-      match Ffc.solve ~config:(config_of prio) ?prev ~reserved:(Array.copy reserved) class_input with
+      let warm_start = List.assoc_opt prio warm_starts in
+      match
+        Ffc.solve ~config:(config_of prio) ?prev ~reserved:(Array.copy reserved) ?presolve
+          ?warm_start class_input
+      with
       | Error e -> Error (Printf.sprintf "priority %d: %s" prio e)
       | Ok r ->
         (* Reserve only this class's *actual* traffic-split loads, not its
@@ -48,6 +52,11 @@ let solve ~config_of ?prev (input : Te_types.input) =
             Array.blit r.Ffc.alloc.Te_types.af.(id) 0 merged.Te_types.af.(id) 0
               (Array.length merged.Te_types.af.(id)))
           class_flows;
-        go (r.Ffc.stats :: stats) rest)
+        go ((prio, r.Ffc.stats, r.Ffc.basis) :: stats) rest)
   in
   go [] classes
+
+let solve ~config_of ?prev (input : Te_types.input) =
+  Result.map
+    (fun (alloc, per_class) -> (alloc, List.map (fun (_, st, _) -> st) per_class))
+    (solve_warm ~config_of ?prev input)

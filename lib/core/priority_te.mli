@@ -15,5 +15,21 @@ val solve :
     configuration; [prev] is the previously-installed allocation over all
     flows. Returns the merged allocation and per-class LP stats. *)
 
+val solve_warm :
+  config_of:(int -> Ffc.config) ->
+  ?prev:Te_types.allocation ->
+  ?presolve:bool ->
+  ?warm_starts:(int * Ffc_lp.Problem.basis) list ->
+  Te_types.input ->
+  ( Te_types.allocation * (int * Ffc.stats * Ffc_lp.Problem.basis option) list,
+    string )
+  result
+(** Like {!solve} but threads simplex bases per priority class:
+    [warm_starts] maps a class to the basis its previous-interval solve
+    returned, and the result carries each class's final basis for the next
+    interval. Classes absent from [warm_starts] (or with stale bases) cold
+    start. Chain bases with [~presolve:false] so each class's column layout
+    is identical across re-solves. *)
+
 val priorities : Te_types.input -> int list
 (** Distinct priority classes, ascending (highest priority first). *)

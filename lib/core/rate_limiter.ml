@@ -3,7 +3,7 @@ open Ffc_lp
 module Bounded_sum = Ffc_sortnet.Bounded_sum
 
 let solve ?(config = Ffc.config ()) ~(prev : Te_types.allocation) (input : Te_types.input) =
-  let t0 = Sys.time () in
+  let t0 = Ffc_util.Clock.now_ms () in
   let model = Model.create ~name:"ffc-rl-unordered" () in
   (* vars.af here are the reservations ahat (provisioned for r_f). *)
   let vars = Formulation.make_vars model input in
@@ -67,17 +67,15 @@ let solve ?(config = Ffc.config ()) ~(prev : Te_types.allocation) (input : Te_ty
        (Topology.links input.Te_types.topo)
    end);
   Model.maximize model (Formulation.total_rate_expr vars);
+  let build_ms = Ffc_util.Clock.since_ms t0 in
+  let t1 = Ffc_util.Clock.now_ms () in
   match Model.solve ~backend:config.Ffc.backend model with
   | Model.Optimal sol ->
     Ok
       {
         Ffc.alloc = Formulation.alloc_of_solution vars input sol;
-        stats =
-          {
-            Ffc.lp_vars = Model.num_vars model;
-            lp_rows = Model.num_constraints model;
-            solve_ms = (Sys.time () -. t0) *. 1000.;
-          };
+        stats = Ffc.mk_stats ~build_ms ~solve_ms:(Ffc_util.Clock.since_ms t1) model;
+        basis = Model.solution_basis sol;
       }
   | Model.Infeasible -> Error "rate-limiter FFC: infeasible"
   | Model.Unbounded -> Error "rate-limiter FFC: unbounded"

@@ -2,7 +2,11 @@ open Ffc_net
 open Ffc_lp
 module Bounded_sum = Ffc_sortnet.Bounded_sum
 
-type plan = { steps : Te_types.allocation list; min_rate : float array }
+type plan = {
+  steps : Te_types.allocation list;
+  min_rate : float array;
+  basis : Problem.basis option;
+}
 
 (* Per-link, per-ingress load of a concrete allocation. *)
 let ingress_loads per_link (alloc : Te_types.allocation) =
@@ -34,7 +38,8 @@ let transition_safe (input : Te_types.input) a0 a1 =
       total <= l.Topology.capacity +. 1e-6)
     (Topology.links input.Te_types.topo)
 
-let plan ?(config = Ffc.config ()) ?(steps = 2) (input : Te_types.input) ~from_ ~to_ =
+let plan ?(config = Ffc.config ()) ?(steps = 2) ?warm_start (input : Te_types.input) ~from_
+    ~to_ =
   if steps < 1 then invalid_arg "Update_plan.plan: steps must be >= 1";
   let kc = config.Ffc.protection.Te_types.kc in
   let model = Model.create ~name:"update-plan" () in
@@ -146,7 +151,7 @@ let plan ?(config = Ffc.config ()) ?(steps = 2) (input : Te_types.input) ~from_ 
          inter)
   in
   Model.maximize model objective;
-  match Model.solve ~backend:config.Ffc.backend model with
+  match Model.solve ~backend:config.Ffc.backend ?warm_start model with
   | Model.Optimal sol ->
     let read af =
       let bf = Array.make nf 0. in
@@ -159,7 +164,7 @@ let plan ?(config = Ffc.config ()) ?(steps = 2) (input : Te_types.input) ~from_ 
         input.Te_types.flows;
       { Te_types.bf; af = out }
     in
-    Ok { steps = List.map read inter; min_rate }
+    Ok { steps = List.map read inter; min_rate; basis = Model.solution_basis sol }
   | Model.Infeasible ->
     Error
       (Printf.sprintf "no congestion-free %d-step update plan exists (try more steps)" steps)

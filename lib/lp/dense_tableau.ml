@@ -193,7 +193,14 @@ let solve ?max_iterations (p : Problem.t) =
     for j = 0 to p.Problem.ncols - 1 do
       objective := !objective +. (p.Problem.obj.(j) *. x.(j))
     done;
-    { Problem.status; x; objective = !objective; iterations = !iterations }
+    {
+      Problem.status;
+      x;
+      objective = !objective;
+      iterations = !iterations;
+      stats = Problem.default_stats ~reason:"dense-tableau" ();
+      basis = None;
+    }
   in
   match iterate (fun _ -> true) with
   | `Iterlimit -> finish Problem.Iteration_limit None

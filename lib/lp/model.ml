@@ -12,6 +12,8 @@ type t = {
   mutable nrows : int;
   mutable objective : Expr.t;
   mutable sense_max : bool;
+  mutable last_stats : Problem.solver_stats option;
+      (* instrumentation of the most recent [solve], whatever its outcome *)
 }
 
 let create ?(name = "lp") () =
@@ -25,6 +27,7 @@ let create ?(name = "lp") () =
     nrows = 0;
     objective = Expr.zero;
     sense_max = true;
+    last_stats = None;
   }
 
 let add_var ?(lb = 0.) ?(ub = infinity) ?name t =
@@ -59,7 +62,12 @@ let minimize t e =
   t.objective <- e;
   t.sense_max <- false
 
-type solution = { x : float array; obj : float }
+type solution = {
+  x : float array;
+  obj : float;
+  stats : Problem.solver_stats;
+  basis : Problem.basis option;
+}
 
 type outcome = Optimal of solution | Infeasible | Unbounded | Iteration_limit
 
@@ -79,23 +87,34 @@ let to_problem ?(presolve = true) t =
       Some (Problem.build ~nstruct:t.nvars ~lb ~ub ~obj ~rows)
   else Some (Problem.build ~nstruct:t.nvars ~lb ~ub ~obj ~rows)
 
-let solve ?(backend = `Revised) ?presolve t =
+let solve ?(backend = `Revised) ?presolve ?warm_start t =
   match to_problem ?presolve t with
-  | None -> Infeasible
+  | None ->
+    t.last_stats <- Some (Problem.default_stats ~reason:"presolve-infeasible" ());
+    Infeasible
   | Some p ->
   let result =
-    match backend with `Revised -> Revised.solve p | `Dense_tableau -> Dense_tableau.solve p
+    match backend with
+    | `Revised -> Revised.solve ?basis:warm_start p
+    | `Dense_tableau -> Dense_tableau.solve p
   in
+  t.last_stats <- Some result.Problem.stats;
   match result.Problem.status with
   | Problem.Optimal ->
     let x = Array.sub result.Problem.x 0 t.nvars in
     let obj =
       Expr.eval (fun j -> x.(j)) t.objective
     in
-    Optimal { x; obj }
+    Optimal { x; obj; stats = result.Problem.stats; basis = result.Problem.basis }
   | Problem.Infeasible -> Infeasible
   | Problem.Unbounded -> Unbounded
   | Problem.Iteration_limit -> Iteration_limit
+
+let last_stats t = t.last_stats
+
+let solution_stats sol = sol.stats
+
+let solution_basis sol = sol.basis
 
 let value sol j = sol.x.(j)
 

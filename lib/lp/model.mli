@@ -38,10 +38,19 @@ type outcome =
 
 type backend = [ `Revised | `Dense_tableau ]
 
-val solve : ?backend:backend -> ?presolve:bool -> t -> outcome
+val solve :
+  ?backend:backend -> ?presolve:bool -> ?warm_start:Problem.basis -> t -> outcome
 (** Solve the model as currently built. The model remains usable (more
     constraints may be added and it can be re-solved). Default backend is
-    [`Revised]; {!Presolve} runs first unless [~presolve:false]. *)
+    [`Revised]; {!Presolve} runs first unless [~presolve:false].
+    [?warm_start] seeds the revised simplex with a basis snapshot from a
+    previous solve of a same-shaped model (see {!solution_basis}); it is
+    ignored by the dense-tableau backend and silently dropped (recorded in
+    the stats) when its dimension does not match. *)
+
+val last_stats : t -> Problem.solver_stats option
+(** Instrumentation of the most recent [solve] on this model, available
+    even when the outcome carried no solution (infeasible/unbounded). *)
 
 val value : solution -> var -> float
 (** Value of a variable in the solution. *)
@@ -51,6 +60,13 @@ val value_expr : solution -> Expr.t -> float
 val objective_value : solution -> float
 (** Objective in the user's sense (maximisation objectives are reported as
     maximisation values). *)
+
+val solution_stats : solution -> Problem.solver_stats
+(** Solver instrumentation for the solve that produced this solution. *)
+
+val solution_basis : solution -> Problem.basis option
+(** Final simplex basis ([Some] for the revised backend); feed it to the
+    next [solve ~warm_start] of a same-shaped model. *)
 
 val num_vars : t -> int
 val num_constraints : t -> int

@@ -69,7 +69,50 @@ let build ~nstruct ~lb ~ub ~obj ~rows =
 
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
-type result = { status : status; x : float array; objective : float; iterations : int }
+type col_status = Bs_basic | Bs_lower | Bs_upper | Bs_free
+
+type basis = col_status array
+
+type solver_stats = {
+  phase1_iterations : int;
+  phase2_iterations : int;
+  refactorisations : int;
+  degenerate_pivots : int;
+  bland_activations : int;
+  restarts : int;
+  ftran_ms : float;
+  warm_started : bool;
+  status_reason : string;
+}
+
+let default_stats ?(reason = "") () =
+  {
+    phase1_iterations = 0;
+    phase2_iterations = 0;
+    refactorisations = 0;
+    degenerate_pivots = 0;
+    bland_activations = 0;
+    restarts = 0;
+    ftran_ms = 0.;
+    warm_started = false;
+    status_reason = reason;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "iters=%d+%d refactor=%d degen=%d bland=%d restarts=%d ftran=%.2fms warm=%b%s"
+    s.phase1_iterations s.phase2_iterations s.refactorisations s.degenerate_pivots
+    s.bland_activations s.restarts s.ftran_ms s.warm_started
+    (if s.status_reason = "" then "" else " (" ^ s.status_reason ^ ")")
+
+type result = {
+  status : status;
+  x : float array;
+  objective : float;
+  iterations : int;
+  stats : solver_stats;
+  basis : basis option;
+}
 
 let eval_row _p terms x =
   List.fold_left (fun acc (j, v) -> acc +. (v *. x.(j))) 0. terms

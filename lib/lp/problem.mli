@@ -34,11 +34,48 @@ val build :
 
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
+type col_status = Bs_basic | Bs_lower | Bs_upper | Bs_free
+(** Per-column basis status: in the basis, nonbasic at a bound, or nonbasic
+    free (at value 0). *)
+
+type basis = col_status array
+(** A basis snapshot over all [ncols] structural + slack columns, suitable
+    for warm-starting {!Revised.solve} on the same problem or on a problem
+    with identical dimensions (e.g. the next TE interval's re-build of the
+    same formulation with perturbed data). *)
+
+type solver_stats = {
+  phase1_iterations : int;  (** iterations spent finding a feasible basis *)
+  phase2_iterations : int;  (** iterations optimising the real objective *)
+  refactorisations : int;  (** basis factorisations (initial + recovery) *)
+  degenerate_pivots : int;  (** pivots with step length ~0 *)
+  bland_activations : int;  (** times anti-cycling (Bland's rule) engaged *)
+  restarts : int;
+      (** numerical restarts: warm-start fallbacks to a cold basis and
+          phase-1 retries after a spurious unbounded ray *)
+  ftran_ms : float;  (** wall-clock time inside FTRAN solves *)
+  warm_started : bool;  (** a supplied basis was accepted and used *)
+  status_reason : string;
+      (** human-readable reason for the final status, e.g.
+          ["phase1-unbounded (numerical)"] when a phase-1 unbounded ray was
+          mapped to [Infeasible] *)
+}
+(** Instrumentation emitted by the revised simplex; the dense-tableau oracle
+    fills in {!default_stats}. *)
+
+val default_stats : ?reason:string -> unit -> solver_stats
+
+val pp_stats : Format.formatter -> solver_stats -> unit
+
 type result = {
   status : status;
   x : float array;  (** length [ncols]; meaningful when [status = Optimal] *)
   objective : float;  (** minimisation objective value *)
   iterations : int;
+  stats : solver_stats;
+  basis : basis option;
+      (** final basis when the solver maintains one ([Revised]); reuse via
+          [Revised.solve ~basis] to warm-start a related solve *)
 }
 
 val eval_row : t -> (int * float) list -> float array -> float

@@ -1,26 +1,74 @@
-(* Bounded-variable revised primal simplex with an explicit dense basis
-   inverse.
+(* Bounded-variable revised primal simplex over a factorised basis.
+
+   The basis inverse is never formed explicitly: a Gauss-Jordan product-form
+   factorisation (an "eta file") represents B^-1 as a product of eta-matrix
+   inverses. Refactorisation rebuilds the file from the basis columns
+   (fewest-nonzeros-first, partial pivoting over not-yet-pivoted rows), and
+   each simplex pivot appends one update eta -- the FTRAN'd entering column.
+   FTRAN applies etas oldest-to-newest and skips any eta whose pivot entry of
+   the work vector is zero, so its cost follows the eta file's fill and the
+   column sparsity of the constraint matrix rather than m^2; BTRAN (for the
+   duals) applies them newest-to-oldest. The file is rebuilt after
+   [eta_refactor_limit] update etas or when numerical drift is detected.
 
    Variable layout: columns [0, ncols) are the problem's structural + slack
    columns; columns [ncols, ncols + nrows) are artificial variables, one per
-   row, with a +/-1 coefficient chosen so the initial artificial value is
-   non-negative. Phase 1 minimises the sum of artificials; once it reaches
-   (numerical) zero the artificial bounds are pinned to [0,0] and phase 2
-   minimises the real objective.
+   row, used by the cold-start phase 1 (minimise the artificial sum) and to
+   complete rank-deficient warm-start bases.
+
+   Warm starts ([solve ?basis]): the caller supplies a basis snapshot from a
+   previous solve of a problem with the same column dimension (e.g. the next
+   TE interval's re-build of the same formulation with perturbed data). The
+   basis is refactorised, completing uncovered rows with artificials pinned
+   to [0,0]; if the implied point violates bounds, a primal feasibility-
+   restoration phase (minimise the sum of bound violations, with the ratio
+   test relaxed so violated basic variables block only at the bound they are
+   violating) runs before phase 2. Numerical trouble anywhere on the warm
+   path falls back to a cold start, counted in [stats.restarts].
 
    Invariants maintained across iterations:
-   - [basic.(i)] is the variable basic in row i; [vstat.(j)] tracks whether a
-     variable is basic, at a bound, or nonbasic free (value 0);
+   - [basic.(i)] is the variable basic in position/row i; [vstat.(j)] tracks
+     whether a variable is basic, at a bound, or nonbasic free (value 0);
    - [xval.(j)] is the current value of every variable;
-   - [binv] is (an approximation of) B^-1 for the current basis; drift is
-     measured against the true residual and triggers refactorisation. *)
+   - the eta file applied to a scattered column equals B^-1 times it; drift
+     is measured against the true residual and triggers refactorisation. *)
+
+module Clock = Ffc_util.Clock
 
 let feas_tol = 1e-7
 let opt_tol = 1e-7
 let pivot_tol = 1e-8
 let zero_tol = 1e-11
+let drop_tol = 1e-13
+let eta_refactor_limit = 100
 
 type vstat = Basic | At_lower | At_upper | Free_nonbasic
+
+(* One eta matrix: identity except column [er], whose pivot entry is [epiv]
+   and whose off-pivot nonzeros are [eidx]/[evals]. *)
+type eta = { er : int; epiv : float; eidx : int array; evals : float array }
+
+let dummy_eta = { er = -1; epiv = 1.; eidx = [||]; evals = [||] }
+
+(* Instrumentation counters that survive a warm-start fallback. *)
+type acc = {
+  mutable refactorisations : int;
+  mutable degenerate_pivots : int;
+  mutable bland_activations : int;
+  mutable restarts : int;
+  mutable ftran_ms : float;
+  mutable spent_iterations : int; (* iterations of abandoned attempts *)
+}
+
+let fresh_acc () =
+  {
+    refactorisations = 0;
+    degenerate_pivots = 0;
+    bland_activations = 0;
+    restarts = 0;
+    ftran_ms = 0.;
+    spent_iterations = 0;
+  }
 
 type state = {
   p : Problem.t;
@@ -30,14 +78,20 @@ type state = {
   ub : float array;
   art_sign : float array; (* per-row sign of its artificial column *)
   mutable cost : float array; (* current phase costs, length n *)
-  basic : int array; (* row -> variable *)
+  mutable basic : int array; (* position -> variable *)
   vstat : vstat array;
   xval : float array;
-  binv : float array; (* m*m row-major *)
+  mutable etas : eta array;
+  mutable neta : int;
+  mutable base_neta : int; (* etas belonging to the factorisation proper *)
   work : float array; (* scratch, length m *)
+  rwork : float array;
+  fwork : float array;
   mutable bland : bool;
   mutable degenerate_run : int;
   mutable iterations : int;
+  mutable restoring : bool; (* feasibility-restoration ratio-test mode *)
+  acc : acc;
 }
 
 let col_rows st j =
@@ -64,99 +118,180 @@ let residual st out =
     end
   done
 
-(* Recompute basic variable values from binv; returns max change seen. *)
+(* ------------------------------------------------------------------ *)
+(* Eta file                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ensure_eta_capacity st =
+  if st.neta = Array.length st.etas then begin
+    let a = Array.make (max 16 (2 * Array.length st.etas)) dummy_eta in
+    Array.blit st.etas 0 a 0 st.neta;
+    st.etas <- a
+  end
+
+(* Record the eta whose column is the dense vector [w] with pivot row [r]. *)
+let push_eta st w r =
+  let cnt = ref 0 in
+  for i = 0 to st.m - 1 do
+    if i <> r && abs_float (Array.unsafe_get w i) > drop_tol then incr cnt
+  done;
+  let idx = Array.make !cnt 0 and vals = Array.make !cnt 0. in
+  let k = ref 0 in
+  for i = 0 to st.m - 1 do
+    if i <> r && abs_float (Array.unsafe_get w i) > drop_tol then begin
+      idx.(!k) <- i;
+      vals.(!k) <- w.(i);
+      incr k
+    end
+  done;
+  ensure_eta_capacity st;
+  st.etas.(st.neta) <- { er = r; epiv = w.(r); eidx = idx; evals = vals };
+  st.neta <- st.neta + 1
+
+(* w := B^-1 w: apply eta inverses oldest-to-newest. An eta whose pivot
+   entry of [w] is zero is skipped entirely, so the cost follows the
+   nonzero pattern rather than m per eta. *)
+let ftran_vec st w =
+  let t0 = Clock.now_ms () in
+  for k = 0 to st.neta - 1 do
+    let e = Array.unsafe_get st.etas k in
+    let wr = Array.unsafe_get w e.er in
+    if wr <> 0. then begin
+      let wr' = wr /. e.epiv in
+      Array.unsafe_set w e.er wr';
+      for t = 0 to Array.length e.eidx - 1 do
+        let i = Array.unsafe_get e.eidx t in
+        Array.unsafe_set w i
+          (Array.unsafe_get w i -. (Array.unsafe_get e.evals t *. wr'))
+      done
+    end
+  done;
+  st.acc.ftran_ms <- st.acc.ftran_ms +. Clock.since_ms t0
+
+(* w = B^-1 a_j: scatter the sparse column, then FTRAN. *)
+let ftran st j w =
+  Array.fill w 0 st.m 0.;
+  let rows = col_rows st j and vals = col_vals st j in
+  for k = 0 to Array.length rows - 1 do
+    w.(rows.(k)) <- vals.(k)
+  done;
+  ftran_vec st w
+
+(* y^T = cB^T B^-1: BTRAN, eta inverses newest-to-oldest. *)
+let duals st y =
+  for i = 0 to st.m - 1 do
+    y.(i) <- st.cost.(st.basic.(i))
+  done;
+  for k = st.neta - 1 downto 0 do
+    let e = Array.unsafe_get st.etas k in
+    let s = ref (Array.unsafe_get y e.er) in
+    for t = 0 to Array.length e.eidx - 1 do
+      s := !s -. (Array.unsafe_get e.evals t *. Array.unsafe_get y (Array.unsafe_get e.eidx t))
+    done;
+    Array.unsafe_set y e.er (!s /. e.epiv)
+  done
+
+(* Recompute basic variable values from the factorisation; returns max
+   change seen (numerical drift indicator). *)
 let recompute_basics st =
-  let r = Array.make st.m 0. in
+  let r = st.rwork in
   residual st r;
+  ftran_vec st r;
   let drift = ref 0. in
   for i = 0 to st.m - 1 do
-    let acc = ref 0. in
-    let base = i * st.m in
-    for k = 0 to st.m - 1 do
-      acc := !acc +. (Array.unsafe_get st.binv (base + k) *. Array.unsafe_get r k)
-    done;
     let j = st.basic.(i) in
-    drift := max !drift (abs_float (st.xval.(j) -. !acc));
-    st.xval.(j) <- !acc
+    drift := max !drift (abs_float (st.xval.(j) -. r.(i)));
+    st.xval.(j) <- r.(i)
   done;
   !drift
 
-(* Rebuild binv from the current basis by Gauss-Jordan with partial
-   pivoting. Returns false if the basis matrix is (numerically) singular. *)
-let refactorise st =
+(* ------------------------------------------------------------------ *)
+(* Refactorisation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Rebuild the eta file from the basis columns [cols] (Gauss-Jordan product
+   form, fewest-nonzeros first so slack/artificial unit columns produce
+   trivial etas, partial pivoting over not-yet-pivoted rows). With
+   [~complete], rows left unpivoted by [cols] are covered by their pinned
+   artificial columns (rank completion for warm starts). Returns false --
+   leaving the previous factorisation and basis in place -- if the basis
+   matrix is (numerically) singular. *)
+let refactorise_cols st cols ~complete =
   let m = st.m in
-  let a = Array.make (m * 2 * m) 0. in
-  let w = 2 * m in
-  for i = 0 to m - 1 do
-    a.((i * w) + m + i) <- 1.
-  done;
-  for i = 0 to m - 1 do
-    let j = st.basic.(i) in
+  let saved = (st.etas, st.neta, st.base_neta, Array.copy st.basic) in
+  st.etas <- Array.make (m + 16) dummy_eta;
+  st.neta <- 0;
+  let cols =
+    List.sort
+      (fun a b -> compare (Array.length (col_rows st a)) (Array.length (col_rows st b)))
+      cols
+  in
+  let pivoted = Array.make m false in
+  let new_basic = Array.make m (-1) in
+  let w = st.fwork in
+  let pivot_col j =
+    Array.fill w 0 m 0.;
     let rows = col_rows st j and vals = col_vals st j in
     for k = 0 to Array.length rows - 1 do
-      a.((rows.(k) * w) + i) <- vals.(k)
-    done
-  done;
-  let ok = ref true in
-  (for c = 0 to m - 1 do
-     (* Partial pivot on column c. *)
-     let best = ref c and best_v = ref (abs_float a.((c * w) + c)) in
-     for r = c + 1 to m - 1 do
-       let v = abs_float a.((r * w) + c) in
-       if v > !best_v then begin
-         best := r;
-         best_v := v
-       end
-     done;
-     if !best_v < 1e-12 then begin
-       ok := false
-     end
-     else begin
-       if !best <> c then
-         for k = 0 to w - 1 do
-           let t = a.((c * w) + k) in
-           a.((c * w) + k) <- a.((!best * w) + k);
-           a.((!best * w) + k) <- t
-         done;
-       let piv = a.((c * w) + c) in
-       for k = 0 to w - 1 do
-         a.((c * w) + k) <- a.((c * w) + k) /. piv
-       done;
-       for r = 0 to m - 1 do
-         if r <> c then begin
-           let f = a.((r * w) + c) in
-           if f <> 0. then
-             for k = 0 to w - 1 do
-               a.((r * w) + k) <- a.((r * w) + k) -. (f *. a.((c * w) + k))
-             done
-         end
-       done
-     end
-   done);
-  if !ok then begin
-    (* The inverse of the column-assembled basis maps row space correctly:
-       binv = right half of the reduced [B | I]. *)
-    for i = 0 to m - 1 do
-      for k = 0 to m - 1 do
-        st.binv.((i * m) + k) <- a.((i * w) + m + k)
-      done
+      w.(rows.(k)) <- vals.(k)
     done;
-    ignore (recompute_basics st)
-  end;
-  !ok
-
-(* y = cB^T B^-1, exploiting sparsity of cB. *)
-let duals st y =
-  Array.fill y 0 st.m 0.;
-  for i = 0 to st.m - 1 do
-    let c = st.cost.(st.basic.(i)) in
-    if c <> 0. then begin
-      let base = i * st.m in
-      for k = 0 to st.m - 1 do
-        Array.unsafe_set y k (Array.unsafe_get y k +. (c *. Array.unsafe_get st.binv (base + k)))
-      done
+    ftran_vec st w;
+    let best = ref (-1) and best_v = ref 1e-11 in
+    for r = 0 to m - 1 do
+      if not pivoted.(r) then begin
+        let v = abs_float w.(r) in
+        if v > !best_v then begin
+          best := r;
+          best_v := v
+        end
+      end
+    done;
+    if !best < 0 then false
+    else begin
+      push_eta st w !best;
+      pivoted.(!best) <- true;
+      new_basic.(!best) <- j;
+      true
     end
-  done
+  in
+  let ok = List.for_all pivot_col cols in
+  let ok =
+    ok
+    &&
+    if not complete then true
+    else begin
+      let missing = ref [] in
+      for r = m - 1 downto 0 do
+        if not pivoted.(r) then missing := r :: !missing
+      done;
+      List.for_all
+        (fun r ->
+          let aj = st.p.Problem.ncols + r in
+          st.vstat.(aj) <- Basic;
+          pivot_col aj)
+        !missing
+    end
+  in
+  if ok then begin
+    st.basic <- new_basic;
+    st.base_neta <- st.neta;
+    st.acc.refactorisations <- st.acc.refactorisations + 1;
+    ignore (recompute_basics st)
+  end
+  else begin
+    let etas, neta, base_neta, basic = saved in
+    st.etas <- etas;
+    st.neta <- neta;
+    st.base_neta <- base_neta;
+    st.basic <- basic
+  end;
+  ok
+
+let refactorise st = refactorise_cols st (Array.to_list st.basic) ~complete:false
+
+(* ------------------------------------------------------------------ *)
+(* Pricing and pivoting                                                *)
+(* ------------------------------------------------------------------ *)
 
 let reduced_cost st y j =
   let rows = col_rows st j and vals = col_vals st j in
@@ -165,18 +300,6 @@ let reduced_cost st y j =
     acc := !acc -. (Array.unsafe_get vals k *. Array.unsafe_get y (Array.unsafe_get rows k))
   done;
   !acc
-
-(* w = B^-1 a_j *)
-let ftran st j w =
-  Array.fill w 0 st.m 0.;
-  let rows = col_rows st j and vals = col_vals st j in
-  for k = 0 to Array.length rows - 1 do
-    let r = Array.unsafe_get rows k and v = Array.unsafe_get vals k in
-    for i = 0 to st.m - 1 do
-      Array.unsafe_set w i
-        (Array.unsafe_get w i +. (Array.unsafe_get st.binv ((i * st.m) + r) *. v))
-    done
-  done
 
 type pricing_result = No_candidate | Enter of int * float (* variable, direction *)
 
@@ -218,6 +341,19 @@ type ratio_result =
   | Bound_flip of float
   | Pivot of int * float * float (* leaving row, theta, target bound of leaver *)
 
+(* Effective movement range of a basic variable. In feasibility-restoration
+   mode a variable beyond a bound may only travel back to that bound (where
+   it becomes feasible and leaves the basis); movement further away is
+   unblocked -- the phase objective, not the bounds, discourages it. *)
+let basic_range st j =
+  if st.restoring then begin
+    let x = st.xval.(j) in
+    if x > st.ub.(j) +. feas_tol then (st.ub.(j), infinity)
+    else if x < st.lb.(j) -. feas_tol then (neg_infinity, st.lb.(j))
+    else (st.lb.(j), st.ub.(j))
+  end
+  else (st.lb.(j), st.ub.(j))
+
 let ratio_test st enter dir w =
   (* The entering variable increases by theta along [dir]; basic variable in
      row i changes by [-dir * w_i * theta]. *)
@@ -233,14 +369,14 @@ let ratio_test st enter dir w =
     let wi = Array.unsafe_get w i in
     if abs_float wi > pivot_tol then begin
       let bvar = st.basic.(i) in
+      let lo, hi = basic_range st bvar in
       let delta = dir *. wi in
       let limit, bound =
         if delta > 0. then
-          (* basic decreases toward its lower bound *)
-          if Float.is_finite st.lb.(bvar) then ((st.xval.(bvar) -. st.lb.(bvar)) /. delta, st.lb.(bvar))
+          (* basic decreases toward its (effective) lower bound *)
+          if Float.is_finite lo then ((st.xval.(bvar) -. lo) /. delta, lo)
           else (infinity, 0.)
-        else if Float.is_finite st.ub.(bvar) then
-          ((st.xval.(bvar) -. st.ub.(bvar)) /. delta, st.ub.(bvar))
+        else if Float.is_finite hi then ((st.xval.(bvar) -. hi) /. delta, hi)
         else (infinity, 0.)
       in
       let limit = max limit 0. in
@@ -271,27 +407,6 @@ let apply_step st enter dir w theta =
     st.xval.(enter) <- st.xval.(enter) +. (theta *. dir)
   end
 
-let update_binv st r w =
-  let m = st.m in
-  let piv = w.(r) in
-  let base_r = r * m in
-  for k = 0 to m - 1 do
-    Array.unsafe_set st.binv (base_r + k) (Array.unsafe_get st.binv (base_r + k) /. piv)
-  done;
-  for i = 0 to m - 1 do
-    if i <> r then begin
-      let f = Array.unsafe_get w i in
-      if f <> 0. then begin
-        let base_i = i * m in
-        for k = 0 to m - 1 do
-          Array.unsafe_set st.binv (base_i + k)
-            (Array.unsafe_get st.binv (base_i + k)
-            -. (f *. Array.unsafe_get st.binv (base_r + k)))
-        done
-      end
-    end
-  done
-
 exception Numerical_restart
 
 let pivot st enter dir w = function
@@ -309,11 +424,34 @@ let pivot st enter dir w = function
       (if Float.is_finite bound then if bound = st.lb.(leaver) then At_lower else At_upper
        else Free_nonbasic);
     st.xval.(leaver) <- bound;
+    (* Restoration: a variable that leaves the basis sits at a true bound and
+       is feasible; drop its violation cost immediately, otherwise pricing
+       would pull it back in to overshoot past the bound (trading violation
+       between variables instead of removing it). *)
+    if st.restoring then st.cost.(leaver) <- 0.;
     st.basic.(r) <- enter;
     st.vstat.(enter) <- Basic;
-    update_binv st r w;
+    (* B' = B E with E's column r = w: one update eta. *)
+    push_eta st w r;
     theta
   | Unbounded_dir -> invalid_arg "pivot: unbounded"
+
+(* Keep the restoration objective equal to the current sum of bound
+   violations. A penalised basic variable pulled back inside its bounds while
+   still basic must stop being penalised immediately: its feasible range can
+   be unbounded in the cost-decreasing direction (e.g. a [>=]-row slack with
+   [lb = -inf]), and a stale +-1 cost there turns the restoration phase into
+   a genuinely unbounded ray. Refreshing per iteration makes the phase the
+   standard piecewise-linear composite phase 1. *)
+let refresh_restore_costs st =
+  for i = 0 to st.m - 1 do
+    let j = st.basic.(i) in
+    let x = st.xval.(j) in
+    st.cost.(j) <-
+      (if x > st.ub.(j) +. feas_tol then 1.
+       else if x < st.lb.(j) -. feas_tol then -1.
+       else 0.)
+  done
 
 (* Run simplex iterations with the current [st.cost] until optimal, unbounded,
    or iteration budget exhausted. *)
@@ -330,12 +468,13 @@ let run_phase st ~max_iterations =
         let drift = recompute_basics st in
         if drift > 1e-6 then ignore (refactorise st)
       end;
+      if st.restoring then refresh_restore_costs st;
       duals st y;
       match price st y with
       | No_candidate ->
         if st.bland then begin
           (* Re-verify optimality with a fresh factorisation: Bland mode may
-             have been running on a drifted inverse. *)
+             have been running on a drifted basis. *)
           ignore (refactorise st);
           st.bland <- false;
           duals st y;
@@ -354,9 +493,14 @@ let run_phase st ~max_iterations =
               0.
           in
           st.iterations <- st.iterations + 1;
+          if st.neta - st.base_neta > eta_refactor_limit then ignore (refactorise st);
           if theta <= 1e-10 then begin
             st.degenerate_run <- st.degenerate_run + 1;
-            if st.degenerate_run > 100 then st.bland <- true
+            st.acc.degenerate_pivots <- st.acc.degenerate_pivots + 1;
+            if st.degenerate_run > 100 && not st.bland then begin
+              st.bland <- true;
+              st.acc.bland_activations <- st.acc.bland_activations + 1
+            end
           end
           else begin
             st.degenerate_run <- 0;
@@ -367,7 +511,38 @@ let run_phase st ~max_iterations =
   in
   loop ()
 
-let initial_state (p : Problem.t) =
+(* ------------------------------------------------------------------ *)
+(* State construction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let make_state acc (p : Problem.t) ~lb ~ub ~vstat ~xval ~art_sign =
+  let m = p.Problem.nrows in
+  let n = p.Problem.ncols + m in
+  {
+    p;
+    n;
+    m;
+    lb;
+    ub;
+    art_sign;
+    cost = Array.make n 0.;
+    basic = Array.init m (fun i -> p.Problem.ncols + i);
+    vstat;
+    xval;
+    etas = Array.make (m + 16) dummy_eta;
+    neta = 0;
+    base_neta = 0;
+    work = Array.make m 0.;
+    rwork = Array.make m 0.;
+    fwork = Array.make m 0.;
+    bland = false;
+    degenerate_run = 0;
+    iterations = 0;
+    restoring = false;
+    acc;
+  }
+
+let initial_state acc (p : Problem.t) =
   let m = p.Problem.nrows in
   let ncols = p.Problem.ncols in
   let n = ncols + m in
@@ -391,28 +566,10 @@ let initial_state (p : Problem.t) =
     end
   done;
   let art_sign = Array.make m 1. in
-  let st =
-    {
-      p;
-      n;
-      m;
-      lb;
-      ub;
-      art_sign;
-      cost = Array.make n 0.;
-      basic = Array.init m (fun i -> ncols + i);
-      vstat;
-      xval;
-      binv = Array.make (m * m) 0.;
-      work = Array.make m 0.;
-      bland = false;
-      degenerate_run = 0;
-      iterations = 0;
-    }
-  in
+  let st = make_state acc p ~lb ~ub ~vstat ~xval ~art_sign in
   (* Start from the slack basis where the slack bounds admit the residual;
      use an artificial (with a sign making its value >= 0) elsewhere. *)
-  let r = Array.make m 0. in
+  let r = st.rwork in
   residual st r;
   for i = 0 to m - 1 do
     let slack = p.Problem.nstruct + i in
@@ -421,7 +578,6 @@ let initial_state (p : Problem.t) =
       st.basic.(i) <- slack;
       vstat.(slack) <- Basic;
       xval.(slack) <- r.(i);
-      st.binv.((i * m) + i) <- 1.;
       (* This row needs no artificial: pin it. *)
       st.lb.(aj) <- 0.;
       st.ub.(aj) <- 0.;
@@ -431,68 +587,258 @@ let initial_state (p : Problem.t) =
     else begin
       let sign = if r.(i) >= 0. then 1. else -1. in
       art_sign.(i) <- sign;
-      st.binv.((i * m) + i) <- sign;
       vstat.(aj) <- Basic;
       xval.(aj) <- abs_float r.(i)
     end
   done;
+  ignore (refactorise st);
   st
 
-let solve ?max_iterations (p : Problem.t) =
-  let st = initial_state p in
-  let max_iterations =
-    match max_iterations with Some k -> k | None -> (20 * (st.m + st.n)) + 10_000
+(* Build a state from a warm-start basis snapshot. All artificials are
+   pinned to [0,0]; rank completion may make some of them (degenerately)
+   basic. Returns [None] -- caller falls back to a cold start -- when the
+   snapshot is inconsistent or its basis matrix is singular. *)
+let warm_state acc (p : Problem.t) (b : Problem.basis) =
+  let m = p.Problem.nrows in
+  let ncols = p.Problem.ncols in
+  let n = ncols + m in
+  let lb = Array.make n 0. and ub = Array.make n 0. in
+  Array.blit p.Problem.lb 0 lb 0 ncols;
+  Array.blit p.Problem.ub 0 ub 0 ncols;
+  let vstat = Array.make n At_lower in
+  let xval = Array.make n 0. in
+  let nbasic = ref 0 in
+  let cols = ref [] in
+  let at_lower j =
+    if Float.is_finite lb.(j) then begin
+      vstat.(j) <- At_lower;
+      xval.(j) <- lb.(j)
+    end
+    else if Float.is_finite ub.(j) then begin
+      vstat.(j) <- At_upper;
+      xval.(j) <- ub.(j)
+    end
+    else begin
+      vstat.(j) <- Free_nonbasic;
+      xval.(j) <- 0.
+    end
   in
-  (* Phase 1. *)
+  for j = ncols - 1 downto 0 do
+    match b.(j) with
+    | Problem.Bs_basic ->
+      vstat.(j) <- Basic;
+      incr nbasic;
+      cols := j :: !cols
+    | Problem.Bs_upper ->
+      if Float.is_finite ub.(j) then begin
+        vstat.(j) <- At_upper;
+        xval.(j) <- ub.(j)
+      end
+      else at_lower j
+    | Problem.Bs_lower | Problem.Bs_free -> at_lower j
+  done;
+  if !nbasic > m then None
+  else begin
+    let st = make_state acc p ~lb ~ub ~vstat ~xval ~art_sign:(Array.make m 1.) in
+    if refactorise_cols st !cols ~complete:true then Some st else None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Feasibility restoration (warm-start phase 1)                        *)
+(* ------------------------------------------------------------------ *)
+
+let violation st j =
+  let x = st.xval.(j) in
+  if x > st.ub.(j) +. feas_tol then x -. st.ub.(j)
+  else if x < st.lb.(j) -. feas_tol then st.lb.(j) -. x
+  else 0.
+
+let total_infeasibility st =
+  let s = ref 0. in
+  for i = 0 to st.m - 1 do
+    s := !s +. violation st st.basic.(i)
+  done;
+  !s
+
+(* Minimise the sum of bound violations of basic variables: set cost +-1 on
+   the violated ones, run the phase with relaxed ratio-test bounds, refresh
+   the violation pattern, repeat. Any stagnation or numerical surprise is
+   reported as [`Stuck] and the caller falls back to a cold start. *)
+let restore_feasibility st ~max_iterations =
+  let rec rounds k prev_inf stagnant =
+    let inf = total_infeasibility st in
+    if inf <= feas_tol *. float_of_int (st.m + 1) then `Feasible
+    else if k > 50 || stagnant >= 3 then `Stuck
+    else begin
+      Array.fill st.cost 0 st.n 0.;
+      for i = 0 to st.m - 1 do
+        let j = st.basic.(i) in
+        let x = st.xval.(j) in
+        if x > st.ub.(j) +. feas_tol then st.cost.(j) <- 1.
+        else if x < st.lb.(j) -. feas_tol then st.cost.(j) <- -1.
+      done;
+      st.bland <- false;
+      st.degenerate_run <- 0;
+      match run_phase st ~max_iterations with
+      | Phase_iterlimit -> `Iterlimit
+      | Phase_unbounded ->
+        (* The restoration objective is bounded below: numerical trouble. *)
+        `Stuck
+      | Phase_optimal ->
+        let stagnant = if inf < prev_inf -. 1e-9 then 0 else stagnant + 1 in
+        rounds (k + 1) inf stagnant
+    end
+  in
+  st.restoring <- true;
+  let r = rounds 0 infinity 0 in
+  st.restoring <- false;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let export_basis st =
+  Array.init st.p.Problem.ncols (fun j ->
+      match st.vstat.(j) with
+      | Basic -> Problem.Bs_basic
+      | At_lower -> Problem.Bs_lower
+      | At_upper -> Problem.Bs_upper
+      | Free_nonbasic -> Problem.Bs_free)
+
+let finish st ~phase1 ~warm status reason =
+  let p = st.p in
+  let x = Array.sub st.xval 0 p.Problem.ncols in
+  let objective =
+    let acc = ref 0. in
+    for j = 0 to p.Problem.ncols - 1 do
+      acc := !acc +. (p.Problem.obj.(j) *. x.(j))
+    done;
+    !acc
+  in
+  let a = st.acc in
+  let stats =
+    {
+      Problem.phase1_iterations = a.spent_iterations + phase1;
+      phase2_iterations = st.iterations - phase1;
+      refactorisations = a.refactorisations;
+      degenerate_pivots = a.degenerate_pivots;
+      bland_activations = a.bland_activations;
+      restarts = a.restarts;
+      ftran_ms = a.ftran_ms;
+      warm_started = warm;
+      status_reason = reason;
+    }
+  in
+  {
+    Problem.status;
+    x;
+    objective;
+    iterations = a.spent_iterations + st.iterations;
+    stats;
+    basis = Some (export_basis st);
+  }
+
+(* Pin artificials to zero and install the real objective. *)
+let enter_phase2 st =
+  let p = st.p in
+  for i = 0 to st.m - 1 do
+    let aj = p.Problem.ncols + i in
+    st.lb.(aj) <- 0.;
+    st.ub.(aj) <- 0.;
+    if st.vstat.(aj) <> Basic then begin
+      st.vstat.(aj) <- At_lower;
+      st.xval.(aj) <- 0.
+    end
+  done;
+  let cost = Array.make st.n 0. in
+  Array.blit p.Problem.obj 0 cost 0 p.Problem.ncols;
+  st.cost <- cost;
+  st.bland <- false;
+  st.degenerate_run <- 0
+
+let run_phase2 st ~max_iterations ~phase1 ~warm =
+  enter_phase2 st;
+  match run_phase st ~max_iterations with
+  | Phase_optimal ->
+    ignore (recompute_basics st);
+    (* Clean tiny values. *)
+    for j = 0 to st.n - 1 do
+      if abs_float st.xval.(j) < zero_tol then st.xval.(j) <- 0.
+    done;
+    finish st ~phase1 ~warm Problem.Optimal "optimal"
+  | Phase_unbounded -> finish st ~phase1 ~warm Problem.Unbounded "unbounded"
+  | Phase_iterlimit -> finish st ~phase1 ~warm Problem.Iteration_limit "iteration-limit (phase 2)"
+
+let cold_solve acc (p : Problem.t) ~max_iterations =
+  let st = initial_state acc p in
+  (* Phase 1: minimise the artificial sum. *)
   for i = 0 to st.m - 1 do
     st.cost.(p.Problem.ncols + i) <- 1.
   done;
-  let finish status =
-    let x = Array.sub st.xval 0 p.Problem.ncols in
-    let objective =
-      let acc = ref 0. in
-      for j = 0 to p.Problem.ncols - 1 do
-        acc := !acc +. (p.Problem.obj.(j) *. x.(j))
-      done;
-      !acc
-    in
-    { Problem.status; x; objective; iterations = st.iterations }
+  let outcome =
+    match run_phase st ~max_iterations with
+    | Phase_unbounded ->
+      (* The phase-1 objective is bounded below by 0, so an unbounded ray is
+         numerical trouble: refactorise and retry once before giving up. *)
+      acc.restarts <- acc.restarts + 1;
+      ignore (refactorise st);
+      run_phase st ~max_iterations
+    | o -> o
   in
-  match run_phase st ~max_iterations with
+  match outcome with
   | Phase_unbounded ->
-    (* Phase 1 objective is bounded below by 0; unboundedness is numerical. *)
-    finish Problem.Infeasible
-  | Phase_iterlimit -> finish Problem.Iteration_limit
+    finish st ~phase1:st.iterations ~warm:false Problem.Infeasible
+      "phase1-unbounded (numerical trouble; reported infeasible)"
+  | Phase_iterlimit ->
+    finish st ~phase1:st.iterations ~warm:false Problem.Iteration_limit
+      "iteration-limit (phase 1)"
   | Phase_optimal ->
     let art_sum = ref 0. in
     for i = 0 to st.m - 1 do
       art_sum := !art_sum +. abs_float st.xval.(p.Problem.ncols + i)
     done;
-    if !art_sum > feas_tol *. float_of_int (st.m + 1) then finish Problem.Infeasible
+    if !art_sum > feas_tol *. float_of_int (st.m + 1) then
+      finish st ~phase1:st.iterations ~warm:false Problem.Infeasible "infeasible"
     else begin
-      (* Pin artificials to zero and switch to the real objective. *)
-      for i = 0 to st.m - 1 do
-        let aj = p.Problem.ncols + i in
-        st.lb.(aj) <- 0.;
-        st.ub.(aj) <- 0.;
-        if st.vstat.(aj) <> Basic then begin
-          st.vstat.(aj) <- At_lower;
-          st.xval.(aj) <- 0.
-        end
-      done;
-      let cost = Array.make st.n 0. in
-      Array.blit p.Problem.obj 0 cost 0 p.Problem.ncols;
-      st.cost <- cost;
-      st.bland <- false;
-      st.degenerate_run <- 0;
-      match run_phase st ~max_iterations with
-      | Phase_optimal ->
-        ignore (recompute_basics st);
-        (* Clean tiny values. *)
-        for j = 0 to st.n - 1 do
-          if abs_float st.xval.(j) < zero_tol then st.xval.(j) <- 0.
-        done;
-        finish Problem.Optimal
-      | Phase_unbounded -> finish Problem.Unbounded
-      | Phase_iterlimit -> finish Problem.Iteration_limit
+      let phase1 = st.iterations in
+      run_phase2 st ~max_iterations ~phase1 ~warm:false
     end
+
+let warm_solve acc (p : Problem.t) b ~max_iterations =
+  match warm_state acc p b with
+  | None -> None
+  | Some st -> (
+    match restore_feasibility st ~max_iterations with
+    | `Iterlimit ->
+      Some
+        (finish st ~phase1:st.iterations ~warm:true Problem.Iteration_limit
+           "iteration-limit (warm restore)")
+    | `Stuck ->
+      (* Numerical trouble restoring feasibility: abandon the warm basis. *)
+      acc.restarts <- acc.restarts + 1;
+      acc.spent_iterations <- acc.spent_iterations + st.iterations;
+      None
+    | `Feasible ->
+      let phase1 = st.iterations in
+      Some (run_phase2 st ~max_iterations ~phase1 ~warm:true))
+
+let solve ?max_iterations ?basis (p : Problem.t) =
+  let acc = fresh_acc () in
+  let m = p.Problem.nrows in
+  let n = p.Problem.ncols + m in
+  let max_iterations =
+    match max_iterations with Some k -> k | None -> (20 * (m + n)) + 10_000
+  in
+  let warm_result =
+    match basis with
+    | Some b when Array.length b = p.Problem.ncols -> warm_solve acc p b ~max_iterations
+    | Some _ ->
+      (* Dimension mismatch (e.g. presolve kept a different row set). *)
+      acc.restarts <- acc.restarts + 1;
+      None
+    | None -> None
+  in
+  match warm_result with
+  | Some r -> r
+  | None -> cold_solve acc p ~max_iterations

@@ -1,15 +1,27 @@
-(** Bounded-variable revised primal simplex.
+(** Bounded-variable revised primal simplex over a factorised basis.
 
-    Two phases: phase 1 minimises the sum of artificial variables (one per
-    row) to find a feasible basis; phase 2 minimises the real objective. The
-    basis inverse is maintained as an explicit dense matrix updated by eta
-    transformations, with on-demand refactorisation when numerical drift is
-    detected. Dantzig pricing with a Bland's-rule fallback guards against
-    cycling. Suited to the mid-size sparse problems produced by the FFC
-    formulations (up to a few thousand rows). *)
+    The basis inverse is held as a Gauss-Jordan product-form factorisation
+    (an eta file): refactorisation rebuilds the file from the basis columns
+    with partial pivoting, and each pivot appends one update eta. FTRAN and
+    BTRAN apply the file sparsely, so per-iteration cost follows the fill of
+    the eta file and the nonzero structure of the constraint matrix rather
+    than [nrows^2]. Dantzig pricing with a Bland's-rule fallback guards
+    against cycling; numerical drift and eta-file growth trigger
+    refactorisation. Suited to the mid-size sparse problems produced by the
+    FFC formulations (up to a few thousand rows).
 
-val solve : ?max_iterations:int -> Problem.t -> Problem.result
-(** Solve a problem. [max_iterations] defaults to [20 * (nrows + ncols) +
-    10_000]. The returned [x] has an entry for every column (structural and
-    slack) and satisfies all constraints to within [1e-6] when the status is
-    [Optimal]. *)
+    [solve ?basis] warm-starts from a basis snapshot of a previous solve
+    with the same column dimension. A rank-deficient or stale basis is
+    completed with pinned artificials; a primal-infeasible one goes through
+    a bound-violation restoration phase before the real objective is
+    optimised. Numerical trouble anywhere on the warm path falls back to a
+    cold start, counted in [result.stats.restarts]. *)
+
+val solve :
+  ?max_iterations:int -> ?basis:Problem.basis -> Problem.t -> Problem.result
+(** Solve a problem. [max_iterations] defaults to
+    [20 * (nrows + ncols) + 10_000]. On [Optimal] the returned [x] (one
+    entry per structural and slack column) satisfies all constraints and
+    bounds to working tolerance. [result.basis] is always [Some] and can
+    seed the next [?basis]; [result.stats] carries the instrumentation
+    record ({!Problem.solver_stats}). *)

@@ -51,13 +51,36 @@ let total_lost s =
 let total_delivered s = Array.fold_left (fun acc c -> acc +. c.delivered_gb) 0. s.per_class
 
 (* TE target for this interval. On solver trouble we keep the previous
-   allocation (a real controller would too). *)
-let compute_target cfg (input : Te_types.input) ~prev =
+   allocation (a real controller would too). [bases] caches the simplex
+   bases of the previous interval's LPs: successive intervals re-solve the
+   same formulation with perturbed demands, so warm-starting from the last
+   optimal basis cuts iterations (a stale basis falls back to a cold start
+   inside the solver). *)
+type basis_cache = {
+  mutable basic : Ffc_lp.Problem.basis option;
+  mutable per_class : (int * Ffc_lp.Problem.basis) list;
+}
+
+let compute_target cfg ~bases (input : Te_types.input) ~prev =
+  (* Presolve is off so the LP's column layout is identical interval to
+     interval and the cached bases stay applicable (same optimum either
+     way). *)
   match cfg.mode with
-  | Reactive -> ( match Basic_te.solve input with Ok a -> a | Error _ -> prev)
+  | Reactive -> (
+    match Basic_te.solve_full ~presolve:false ?warm_start:bases.basic input with
+    | Ok (a, basis) ->
+      bases.basic <- basis;
+      a
+    | Error _ -> prev)
   | Proactive config_of -> (
-    match Priority_te.solve ~config_of ~prev input with
-    | Ok (a, _) -> a
+    match
+      Priority_te.solve_warm ~config_of ~prev ~presolve:false ~warm_starts:bases.per_class
+        input
+    with
+    | Ok (a, per_class) ->
+      bases.per_class <-
+        List.filter_map (fun (prio, _, b) -> Option.map (fun b -> (prio, b)) b) per_class;
+      a
     | Error _ -> prev)
 
 (* Protection edges for the proactive reaction rule: react when the
@@ -97,6 +120,7 @@ let run ~rng cfg (input : Te_types.input) ~demand_series =
   in
   let backlog = Array.make nflows 0. in
   let installed = ref (Te_types.zero_allocation input) in
+  let bases = { basic = None; per_class = [] } in
   let results = ref [] in
   Array.iteri
     (fun interval_idx base_demands ->
@@ -104,7 +128,7 @@ let run ~rng cfg (input : Te_types.input) ~demand_series =
         Array.init nflows (fun f -> base_demands.(f) +. (backlog.(f) /. cfg.interval_s))
       in
       let input_t = { input with Te_types.demands } in
-      let target = compute_target cfg input_t ~prev:!installed in
+      let target = compute_target cfg ~bases input_t ~prev:!installed in
       (* --- push the update; some ingresses may be stuck with old config --- *)
       let changed v =
         List.exists

@@ -1,0 +1,13 @@
+(* Monotonic wall clock. [Sys.time] measures process CPU time, which both
+   under-reports multi-threaded / IO-bound phases and over-reports nothing a
+   user can correlate with latency; every "how long did the solve take"
+   number in this repository goes through here instead. *)
+
+let now_ms () = Int64.to_float (Monotonic_clock.now ()) /. 1e6
+
+let since_ms t0 = now_ms () -. t0
+
+let time_ms f =
+  let t0 = now_ms () in
+  let x = f () in
+  (x, since_ms t0)

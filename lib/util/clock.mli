@@ -1,0 +1,17 @@
+(** Monotonic wall-clock timing for solver instrumentation.
+
+    [Sys.time] (process CPU time) is the wrong tool for reporting solve
+    latency: it is unaffected by wall-clock stalls and its resolution is
+    coarse. All timing in this repository uses this module, which is backed
+    by the OS monotonic clock. *)
+
+val now_ms : unit -> float
+(** Current monotonic time in milliseconds. Only differences are
+    meaningful. *)
+
+val since_ms : float -> float
+(** [since_ms t0] is [now_ms () -. t0]. *)
+
+val time_ms : (unit -> 'a) -> 'a * float
+(** [time_ms f] runs [f ()] and returns its result with the elapsed
+    wall-clock milliseconds. *)

@@ -388,6 +388,27 @@ let test_data_constraint_growth () =
     (Printf.sprintf "rows %d within O(tau |T|) bound %d" rows bound)
     true (rows <= bound)
 
+(* ------------------------------------------------------------------ *)
+(* Solver instrumentation                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The wall-clock split must be real time, not CPU ticks: even a sleep-free
+   sub-millisecond solve takes a positive number of nanoseconds on the
+   monotonic clock (the old [Sys.time] measurement rounded such solves to
+   exactly 0). *)
+let test_stats_wall_clock () =
+  let input = fig3_input () in
+  let prev = fig3_old_alloc () in
+  let r = solve_ffc ~prev ~protection:(Te_types.protection ~kc:1 ()) input in
+  Alcotest.(check bool) "solve_ms positive" true (r.Ffc.stats.Ffc.solve_ms > 0.);
+  Alcotest.(check bool) "build_ms positive" true (r.Ffc.stats.Ffc.build_ms > 0.);
+  match r.Ffc.stats.Ffc.solver with
+  | None -> Alcotest.fail "revised backend reported no solver stats"
+  | Some s ->
+    Alcotest.(check bool)
+      "did simplex work" true
+      (s.Ffc_lp.Problem.phase1_iterations + s.Ffc_lp.Problem.phase2_iterations > 0)
+
 let () =
   let case name f = Alcotest.test_case name `Quick f in
   Alcotest.run "core"
@@ -417,6 +438,7 @@ let () =
           case "control FFC rows are O(kc n)" test_control_constraint_growth;
           case "data FFC rows are O(tau |T|)" test_data_constraint_growth;
         ] );
+      ("instrumentation", [ case "timing is positive wall-clock" test_stats_wall_clock ]);
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_data_ffc_robust;

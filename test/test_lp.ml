@@ -352,6 +352,119 @@ let prop_backends_agree_larger =
       | a, b ->
         QCheck.Test.fail_reportf "status mismatch: %s vs %s" (status_name a) (status_name b))
 
+(* ------------------------------------------------------------------ *)
+(* Warm starts                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The same spec with every row's rhs shifted: identical column layout, so a
+   basis snapshot from the original transfers (the next-TE-interval shape of
+   reuse). *)
+let perturb_spec delta spec =
+  { spec with rows = List.map (fun (t, s, r) -> (t, s, r +. delta)) spec.rows }
+
+let total_iters (s : Problem.solver_stats) =
+  s.Problem.phase1_iterations + s.Problem.phase2_iterations
+
+(* Warm-started and cold revised solves of the perturbed problem must agree
+   with each other and with the dense tableau oracle: a warm basis changes
+   the starting point, never the answer. *)
+let prop_warm_agrees =
+  QCheck.Test.make ~count:300 ~name:"warm-started solve agrees with cold and tableau oracle"
+    lp_arbitrary (fun spec ->
+      let m0, _ = build_random_lp spec in
+      match Model.solve ~backend:`Revised ~presolve:false m0 with
+      | Model.Iteration_limit -> QCheck.assume_fail ()
+      | Model.Infeasible | Model.Unbounded -> true
+      | Model.Optimal s0 -> (
+        match Model.solution_basis s0 with
+        | None -> QCheck.Test.fail_report "revised backend returned no basis"
+        | Some basis -> (
+          let spec' = perturb_spec 0.5 spec in
+          let cold_m, _ = build_random_lp spec' in
+          let warm_m, _ = build_random_lp spec' in
+          let oracle_m, _ = build_random_lp spec' in
+          let cold = Model.solve ~backend:`Revised ~presolve:false cold_m in
+          let warm = Model.solve ~backend:`Revised ~presolve:false ~warm_start:basis warm_m in
+          let oracle = Model.solve ~backend:`Dense_tableau ~presolve:false oracle_m in
+          match (cold, warm, oracle) with
+          | Model.Iteration_limit, _, _ | _, Model.Iteration_limit, _ | _, _, Model.Iteration_limit
+            ->
+            QCheck.assume_fail ()
+          | Model.Optimal a, Model.Optimal b, Model.Optimal c ->
+            abs_float (Model.objective_value a -. Model.objective_value b) < 1e-5
+            && abs_float (Model.objective_value b -. Model.objective_value c) < 1e-5
+          | Model.Infeasible, Model.Infeasible, Model.Infeasible
+          | Model.Unbounded, Model.Unbounded, Model.Unbounded ->
+            true
+          | a, b, c ->
+            QCheck.Test.fail_reportf "status mismatch: cold %s / warm %s / oracle %s"
+              (status_name a) (status_name b) (status_name c))))
+
+(* A structured instance large enough that cold phase 1 does real work; the
+   basis of the base solve should carry the perturbed-rhs re-solve most of
+   the way (measurably fewer total iterations, warm path accepted). *)
+let test_warm_cuts_iterations () =
+  let rng = Ffc_util.Rng.create 42 in
+  let nvars = 40 and nrows = 60 in
+  let coeffs =
+    Array.init nrows (fun _ -> Array.init nvars (fun _ -> Ffc_util.Rng.uniform rng 0. 4.))
+  in
+  let objc = Array.init nvars (fun _ -> Ffc_util.Rng.uniform rng 1. 5.) in
+  let build rhs_scale =
+    let m = Model.create () in
+    let vars = Array.init nvars (fun _ -> Model.add_var ~ub:50. m) in
+    Array.iteri
+      (fun i row ->
+        let lhs =
+          Expr.sum (Array.to_list (Array.mapi (fun j v -> Expr.var ~coeff:row.(j) v) vars))
+        in
+        Model.le m lhs (Expr.const (rhs_scale *. (30. +. float_of_int (i mod 7)))))
+      coeffs;
+    Model.maximize m
+      (Expr.sum (Array.to_list (Array.mapi (fun j v -> Expr.var ~coeff:objc.(j) v) vars)));
+    m
+  in
+  let base =
+    match Model.solve ~backend:`Revised ~presolve:false (build 1.0) with
+    | Model.Optimal s -> s
+    | _ -> Alcotest.fail "base solve not optimal"
+  in
+  let basis =
+    match Model.solution_basis base with
+    | Some b -> b
+    | None -> Alcotest.fail "no basis from base solve"
+  in
+  let solve ?warm_start () =
+    match Model.solve ~backend:`Revised ~presolve:false ?warm_start (build 1.02) with
+    | Model.Optimal s -> s
+    | _ -> Alcotest.fail "perturbed solve not optimal"
+  in
+  let cold = solve () and warm = solve ~warm_start:basis () in
+  check_float "optima agree"
+    (Model.objective_value cold)
+    (Model.objective_value warm);
+  let cs = Model.solution_stats cold and ws = Model.solution_stats warm in
+  Alcotest.(check bool) "warm path accepted" true ws.Problem.warm_started;
+  Alcotest.(check bool)
+    (Printf.sprintf "warm iterations %d < cold iterations %d" (total_iters ws) (total_iters cs))
+    true
+    (total_iters ws < total_iters cs)
+
+(* A basis of the wrong shape must be dropped (recorded as a restart), not
+   crash or corrupt the solve. *)
+let test_warm_dimension_mismatch () =
+  let m = Model.create () in
+  let x = Model.add_var ~ub:5. m in
+  Model.maximize m (Expr.var x);
+  let bogus = Array.make 3 Problem.Bs_lower in
+  match Model.solve ~backend:`Revised ~presolve:false ~warm_start:bogus m with
+  | Model.Optimal s ->
+    check_float "objective" 5. (Model.objective_value s);
+    let st = Model.solution_stats s in
+    Alcotest.(check bool) "not warm started" false st.Problem.warm_started;
+    Alcotest.(check bool) "mismatch recorded" true (st.Problem.restarts >= 1)
+  | _ -> Alcotest.fail "expected optimal"
+
 let test_printers () =
   let m = Model.create ~name:"demo" () in
   let x = Model.add_var ~name:"rate" m in
@@ -406,6 +519,12 @@ let () =
           QCheck_alcotest.to_alcotest prop_backends_agree;
           QCheck_alcotest.to_alcotest prop_feasible;
           QCheck_alcotest.to_alcotest prop_backends_agree_larger;
+        ] );
+      ( "warm-start",
+        [
+          QCheck_alcotest.to_alcotest prop_warm_agrees;
+          case "basis reuse cuts iterations" test_warm_cuts_iterations;
+          case "dimension mismatch falls back" test_warm_dimension_mismatch;
         ] );
       ("printers", [ case "names and formatters" test_printers ]);
     ]
