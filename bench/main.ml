@@ -980,6 +980,213 @@ let lp_warm () =
   Printf.printf "wrote BENCH_lp.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Resilience: degradation ladder, solve deadlines, guarantee auditing *)
+(* ------------------------------------------------------------------ *)
+
+(* Exercise every rung of the resilient controller's degradation ladder on
+   an over-subscribed L-Net under forced fault bursts:
+
+   - "generous"  deadline = 10x a measured full-protection solve: every
+     interval should stay on the full-protection rung;
+   - "medium"    deadline between the first reduced rung's and the full
+     rung's measured solve times: the full attempt is killed by the
+     wall-clock deadline and a reduced rung accepted;
+   - "starved"   pivot budget 0: every LP rung fails instantly, so each
+     interval runs on the previous allocation rescaled (last-good).
+
+   The run then checks the robustness contract: no interval silently keeps
+   a stale allocation (every last-good interval is flagged), every
+   deadline-killed attempt terminated within 2x its budget, and the sampled
+   auditor reports zero violations for accepted solves at their effective
+   (possibly degraded) protection level. Emits BENCH_resilience.json. *)
+let resilience () =
+  section "Resilience: controller ladder under overload, deadlines and fault bursts (L-Net)";
+  let sc = Lazy.force lnet in
+  Printf.printf "%s\n" (scenario_summary sc);
+  let input = sc.Sim.Scenario.input in
+  let topo = input.Te_types.topo in
+  let scale = 3.0 in
+  let protection = Te_types.protection ~kc:2 ~ke:2 () in
+  let ffc_config prot = Ffc.config ~protection:prot ~encoding:`Duality ~mice_fraction:0. () in
+  let config_of _ = ffc_config protection in
+  (* Reference attempt times (no deadline) on the over-subscribed demands:
+     the deadline tiers are derived from these so the bench adapts to the
+     machine it runs on. *)
+  let scaled_input = Sim.Scenario.scaled sc scale in
+  let prev = match Basic_te.solve scaled_input with Ok a -> a | Error e -> failwith e in
+  let time_of prot =
+    let t0 = Unix.gettimeofday () in
+    (match Ffc.solve ~config:(ffc_config prot) ~prev scaled_input with
+    | Ok _ -> ()
+    | Error e -> failwith ("resilience reference solve: " ^ e));
+    1000. *. (Unix.gettimeofday () -. t0)
+  in
+  let t_full = time_of protection in
+  let t_red = time_of (Controller.degrade 1 protection) in
+  let medium = if t_red < 0.7 *. t_full then sqrt (t_red *. t_full) else 0.5 *. t_full in
+  Printf.printf
+    "reference attempts: full %.0f ms, reduced-1 %.0f ms -> medium deadline %.0f ms\n%!"
+    t_full t_red medium;
+  let n = intervals 6 in
+  let um = Sim.Update_model.optimistic () in
+  let bursts rng i =
+    let links = Sim.Fault_model.forced_link_failures rng ~interval_s:300. topo (1 + (i mod 3)) in
+    let switches =
+      if i mod 2 = 1 then Sim.Fault_model.forced_switch_failures rng ~interval_s:300. topo 1
+      else []
+    in
+    Sim.Fault_model.dedup topo
+      (List.sort
+         (fun (a : Sim.Fault_model.fault) b ->
+           compare a.Sim.Fault_model.time_s b.Sim.Fault_model.time_s)
+         (links @ switches))
+  in
+  let series = Sim.Scenario.demand_series (Rng.create 777) sc ~scale ~intervals:n in
+  let run_phase name ?deadline_ms ?max_iterations () =
+    let cfg =
+      {
+        (Sim.Interval_sim.default_config ?deadline_ms ?max_iterations ~audit_budget:6
+           ~mode:(Sim.Interval_sim.Proactive config_of) ~update_model:um Sim.Fault_model.none)
+        with
+        Sim.Interval_sim.forced_faults = Some bursts;
+      }
+    in
+    let stats = Sim.Interval_sim.run ~rng:(Rng.create 901) cfg input ~demand_series:series in
+    (name, deadline_ms, max_iterations, stats)
+  in
+  let phases =
+    [
+      run_phase "generous" ~deadline_ms:(10. *. t_full) ();
+      run_phase "medium" ~deadline_ms:medium ();
+      run_phase "starved" ~max_iterations:0 ();
+    ]
+  in
+  (* Collapse rung labels to the four schema-stable categories. *)
+  let category label =
+    if label = "full" then `Full
+    else if String.length label >= 7 && String.sub label 0 7 = "reduced" then `Reduced
+    else if label = "basic-te" then `Basic
+    else `Last_good
+  in
+  let phase_summary (_, deadline_ms, _, stats) =
+    let count pred = List.fold_left (fun a s -> if pred s then a + 1 else a) 0 stats in
+    let sum f = List.fold_left (fun a s -> a + f s) 0 stats in
+    let rungs cat =
+      count (fun (s : Sim.Interval_sim.interval_stats) ->
+          category s.Sim.Interval_sim.rung_label = cat)
+    in
+    let silent_stale =
+      count (fun (s : Sim.Interval_sim.interval_stats) ->
+          s.Sim.Interval_sim.stale_alloc <> (category s.Sim.Interval_sim.rung_label = `Last_good))
+    in
+    let max_overrun =
+      List.fold_left
+        (fun acc (s : Sim.Interval_sim.interval_stats) ->
+          List.fold_left
+            (fun acc (a : Controller.attempt) ->
+              match (a.Controller.budget_ms, a.Controller.outcome) with
+              | Some b, Error { Te_types.kind = `Deadline; _ } when b > 0. ->
+                max acc (a.Controller.solve_ms /. b)
+              | _ -> acc)
+            acc s.Sim.Interval_sim.ladder)
+        0. stats
+    in
+    ignore deadline_ms;
+    ( (rungs `Full, rungs `Reduced, rungs `Basic, rungs `Last_good),
+      sum (fun s -> s.Sim.Interval_sim.solver_fallbacks),
+      sum (fun s -> s.Sim.Interval_sim.deadline_hits),
+      count (fun s -> s.Sim.Interval_sim.stale_alloc),
+      silent_stale,
+      sum (fun s -> s.Sim.Interval_sim.audit_cases),
+      sum (fun s -> s.Sim.Interval_sim.audit_violations),
+      max_overrun )
+  in
+  let t =
+    Table.create
+      [
+        "phase"; "deadline (ms)"; "full"; "reduced"; "basic"; "last-good"; "fallbacks";
+        "ddl hits"; "stale"; "audit"; "max overrun";
+      ]
+  in
+  let summaries = List.map (fun p -> (p, phase_summary p)) phases in
+  List.iter
+    (fun ((name, deadline_ms, _, _), ((f, r, b, lg), fb, dh, st, _, ac, av, ovr)) ->
+      Table.add_row t
+        [
+          name;
+          (match deadline_ms with Some d -> Printf.sprintf "%.0f" d | None -> "-");
+          string_of_int f;
+          string_of_int r;
+          string_of_int b;
+          string_of_int lg;
+          string_of_int fb;
+          string_of_int dh;
+          string_of_int st;
+          Printf.sprintf "%d/%d" av ac;
+          (if ovr > 0. then Printf.sprintf "%.2fx" ovr else "-");
+        ])
+    summaries;
+  Table.print t;
+  (* --- robustness contract --- *)
+  let tot f = List.fold_left (fun a (_, s) -> a + f s) 0 summaries in
+  let full_tot = tot (fun ((f, _, _, _), _, _, _, _, _, _, _) -> f) in
+  let red_tot = tot (fun ((_, r, _, _), _, _, _, _, _, _, _) -> r) in
+  let lg_tot = tot (fun ((_, _, _, lg), _, _, _, _, _, _, _) -> lg) in
+  let silent_tot = tot (fun (_, _, _, _, sil, _, _, _) -> sil) in
+  let violations_tot = tot (fun (_, _, _, _, _, _, av, _) -> av) in
+  let max_overrun =
+    List.fold_left (fun acc (_, (_, _, _, _, _, _, _, o)) -> max acc o) 0. summaries
+  in
+  let check name ok = Printf.printf "  %-52s %s\n" name (if ok then "PASS" else "FAIL") in
+  let ok1 = full_tot >= 1 && red_tot >= 1 && lg_tot >= 1 in
+  let ok2 = silent_tot = 0 in
+  let ok3 = max_overrun <= 2.0 in
+  let ok4 = violations_tot = 0 in
+  check "rung distribution covers full/reduced/last-good" ok1;
+  check "no silently-kept stale allocation" ok2;
+  check "deadline-killed attempts within 2x budget" ok3;
+  check "zero sampled audit violations" ok4;
+  let json =
+    let phase_json ((name, deadline_ms, max_iterations, _), ((f, r, b, lg), fb, dh, st, sil, ac, av, ovr))
+        =
+      Printf.sprintf
+        "    { \"name\": \"%s\", \"deadline_ms\": %s, \"max_iterations\": %s, \"intervals\": %d,\n\
+        \      \"rungs\": { \"full\": %d, \"reduced\": %d, \"basic_te\": %d, \"last_good\": %d },\n\
+        \      \"fallbacks\": %d, \"deadline_hits\": %d, \"stale_intervals\": %d,\n\
+        \      \"silent_stale\": %d, \"audit_cases\": %d, \"audit_violations\": %d,\n\
+        \      \"max_overrun_ratio\": %s }"
+        name
+        (match deadline_ms with Some d -> Printf.sprintf "%.3f" d | None -> "null")
+        (match max_iterations with Some i -> string_of_int i | None -> "null")
+        n f r b lg fb dh st sil ac av
+        (if ovr > 0. then Printf.sprintf "%.3f" ovr else "null")
+    in
+    Printf.sprintf
+      "{\n\
+      \  \"scenario\": \"%s\",\n\
+      \  \"scale\": %.1f,\n\
+      \  \"protection\": \"kc=%d,ke=%d,kv=%d\",\n\
+      \  \"reference_ms\": { \"full\": %.3f, \"reduced1\": %.3f },\n\
+      \  \"phases\": [\n%s\n  ],\n\
+      \  \"totals\": { \"intervals\": %d, \"full\": %d, \"reduced\": %d, \"last_good\": %d,\n\
+      \               \"silent_stale\": %d, \"audit_violations\": %d,\n\
+      \               \"max_overrun_ratio\": %s, \"deadline_compliance_2x\": %b,\n\
+      \               \"rung_coverage\": %b, \"audit_clean\": %b }\n\
+       }\n"
+      sc.Sim.Scenario.name scale protection.Te_types.kc protection.Te_types.ke
+      protection.Te_types.kv t_full t_red
+      (String.concat ",\n" (List.map phase_json summaries))
+      (3 * n) full_tot red_tot lg_tot silent_tot violations_tot
+      (if max_overrun > 0. then Printf.sprintf "%.3f" max_overrun else "null")
+      ok3 ok1 ok4
+  in
+  let oc = open_out "BENCH_resilience.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_resilience.json\n";
+  if not (ok1 && ok2 && ok3 && ok4) then failwith "resilience: robustness contract violated"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1001,6 +1208,7 @@ let experiments =
     ("capacity-planning", capacity_planning);
     ("scaling", scaling);
     ("lp-warm", lp_warm);
+    ("resilience", resilience);
   ]
 
 let () =
@@ -1008,7 +1216,7 @@ let () =
   let args =
     List.filter
       (fun a ->
-        if a = "fast" then begin
+        if a = "fast" || a = "quick" || a = "--fast" || a = "--quick" then begin
           fast := true;
           false
         end

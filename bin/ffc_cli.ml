@@ -95,7 +95,7 @@ let solve_cmd network seed scale kc ke kv encoding objective =
 (* simulate                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let simulate_cmd network seed scale mode intervals model kc ke kv =
+let simulate_cmd network seed scale mode intervals model kc ke kv deadline_ms audit_budget =
   let sc = scenario_of_name network seed in
   let input = sc.Sim.Scenario.input in
   let um =
@@ -111,12 +111,17 @@ let simulate_cmd network seed scale mode intervals model kc ke kv =
     | other -> failwith (Printf.sprintf "unknown mode %S (reactive or ffc)" other)
   in
   let fm = Sim.Fault_model.lnet_like input.Te_types.topo in
-  let cfg = Sim.Interval_sim.default_config ~mode ~update_model:um fm in
+  let cfg =
+    Sim.Interval_sim.default_config ?deadline_ms ~audit_budget ~mode ~update_model:um fm
+  in
   let series = Sim.Scenario.demand_series (Rng.create (seed + 1)) sc ~scale ~intervals in
   let stats = Sim.Interval_sim.run ~rng:(Rng.create (seed + 2)) cfg input ~demand_series:series in
   let t =
     Table.create
-      [ "interval"; "delivered (Gb)"; "lost (Gb)"; "max oversub (%)"; "data faults"; "ctrl faults" ]
+      [
+        "interval"; "delivered (Gb)"; "lost (Gb)"; "max oversub (%)"; "data faults";
+        "ctrl faults"; "rung"; "fallbacks"; "audit";
+      ]
   in
   List.iteri
     (fun i s ->
@@ -128,12 +133,25 @@ let simulate_cmd network seed scale mode intervals model kc ke kv =
           Printf.sprintf "%.1f" s.Sim.Interval_sim.max_oversub_pct;
           string_of_int s.Sim.Interval_sim.data_faults;
           string_of_int s.Sim.Interval_sim.control_faults;
+          s.Sim.Interval_sim.rung_label;
+          string_of_int s.Sim.Interval_sim.solver_fallbacks;
+          Printf.sprintf "%d/%d" s.Sim.Interval_sim.audit_violations
+            s.Sim.Interval_sim.audit_cases;
         ])
     stats;
   Table.print t;
+  let sum f = List.fold_left (fun a s -> a + f s) 0 stats in
   Printf.printf "totals: delivered %.1f Gb, lost %.3f Gb\n"
     (List.fold_left (fun a s -> a +. Sim.Interval_sim.total_delivered s) 0. stats)
-    (List.fold_left (fun a s -> a +. Sim.Interval_sim.total_lost s) 0. stats)
+    (List.fold_left (fun a s -> a +. Sim.Interval_sim.total_lost s) 0. stats);
+  Printf.printf
+    "controller: %d solver fallbacks, %d deadline hits, %d stale (last-good) intervals, \
+     audit %d violations / %d cases\n"
+    (sum (fun s -> s.Sim.Interval_sim.solver_fallbacks))
+    (sum (fun s -> s.Sim.Interval_sim.deadline_hits))
+    (sum (fun s -> if s.Sim.Interval_sim.stale_alloc then 1 else 0))
+    (sum (fun s -> s.Sim.Interval_sim.audit_violations))
+    (sum (fun s -> s.Sim.Interval_sim.audit_cases))
 
 (* ------------------------------------------------------------------ *)
 (* plan (capacity planning, §3.3)                                      *)
@@ -242,10 +260,23 @@ let kc_sim = Arg.(value & opt int 2 & info [ "kc" ] ~doc:"Config-fault protectio
 let ke_sim = Arg.(value & opt int 1 & info [ "ke" ] ~doc:"Link-failure protection")
 let kv_sim = Arg.(value & opt int 0 & info [ "kv" ] ~doc:"Switch-failure protection")
 
+let deadline_ms =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ]
+        ~doc:"Wall-clock budget per controller solve attempt (milliseconds)")
+
+let audit_budget =
+  Arg.(
+    value & opt int 8
+    & info [ "audit-budget" ]
+        ~doc:"Sampled guarantee-audit cases per accepted solve (0 disables)")
+
 let simulate_t =
   Term.(
     const simulate_cmd $ network $ seed $ scale $ mode $ intervals $ model $ kc_sim $ ke_sim
-    $ kv_sim)
+    $ kv_sim $ deadline_ms $ audit_budget)
 
 let plan_t = Term.(const plan_cmd $ network $ seed $ scale $ kc $ ke $ kv)
 

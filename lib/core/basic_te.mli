@@ -15,6 +15,8 @@ val solve_full :
   ?backend:Ffc_lp.Model.backend ->
   ?reserved:float array ->
   ?presolve:bool ->
+  ?max_iterations:int ->
+  ?deadline_ms:float ->
   ?warm_start:Ffc_lp.Problem.basis ->
   Te_types.input ->
   (Te_types.allocation * Ffc_lp.Problem.basis option, string) result
@@ -22,4 +24,18 @@ val solve_full :
     from a previous interval's solve of the same input shape to warm-start
     (stale bases fall back to a cold start inside the solver). Chain bases
     with [~presolve:false] so the column layout is identical across
-    re-solves. *)
+    re-solves. [max_iterations] / [deadline_ms] bound the underlying LP
+    solve. *)
+
+val solve_checked :
+  ?backend:Ffc_lp.Model.backend ->
+  ?reserved:float array ->
+  ?presolve:bool ->
+  ?max_iterations:int ->
+  ?deadline_ms:float ->
+  ?warm_start:Ffc_lp.Problem.basis ->
+  Te_types.input ->
+  (Te_types.allocation * Ffc_lp.Problem.basis option, Te_types.solve_failure) result
+(** Like {!solve_full} but failures keep their machine-readable
+    {!Te_types.failure_kind} so callers (the degradation ladder) can react
+    to deadline expiry and iteration limits differently from infeasibility. *)

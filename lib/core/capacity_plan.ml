@@ -62,6 +62,7 @@ let solve ?(config = Ffc.config ()) ?prev ?(cost = fun _ -> 1.)
        with its tunnel set at full demand)"
   | Model.Unbounded -> Error "capacity plan: unbounded (unexpected)"
   | Model.Iteration_limit -> Error "capacity plan: iteration limit"
+  | Model.Deadline_exceeded -> Error "capacity plan: deadline exceeded"
 
 let provisioning_factor (input : Te_types.input) planned =
   match solve ~config:(Ffc.config ()) input with

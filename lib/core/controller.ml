@@ -1,0 +1,387 @@
+open Ffc_lp
+module Rng = Ffc_util.Rng
+module Clock = Ffc_util.Clock
+
+type mode = Basic | Ffc_ladder of (int -> Ffc.config)
+
+type config = {
+  mode : mode;
+  deadline_ms : float option;
+  max_iterations : int option;
+  audit_budget : int;
+  audit_seed : int;
+  presolve : bool;
+}
+
+let config ?deadline_ms ?max_iterations ?(audit_budget = 8) ?(audit_seed = 0x5eed)
+    ?(presolve = false) mode =
+  if audit_budget < 0 then invalid_arg "Controller.config: negative audit_budget";
+  { mode; deadline_ms; max_iterations; audit_budget; audit_seed; presolve }
+
+type rung_kind = Full_protection | Reduced of int | Basic_te | Last_good
+
+let rung_label = function
+  | Full_protection -> "full"
+  | Reduced s -> Printf.sprintf "reduced-%d" s
+  | Basic_te -> "basic-te"
+  | Last_good -> "last-good"
+
+type attempt = {
+  rung : int;
+  kind : rung_kind;
+  protections : (int * Te_types.protection) list;
+  outcome : (unit, Te_types.solve_failure) result;
+  solve_ms : float;
+  budget_ms : float option;
+}
+
+type audit_report = {
+  audit_cases : int;
+  audit_violations : int;
+  first_violation : string option;
+}
+
+type step = {
+  alloc : Te_types.allocation;
+  rung : int;
+  kind : rung_kind;
+  label : string;
+  attempts : attempt list;
+  fallbacks : int;
+  deadline_hits : int;
+  stale : bool;
+  effective : (int -> Te_types.protection) option;
+  per_class_stats : (int * Ffc.stats) list;
+  audit : audit_report option;
+}
+
+type t = {
+  cfg : config;
+  audit_rng : Rng.t;
+  (* Warm-start bases are cached per (rung index, priority class): each rung
+     builds a differently-shaped LP, so bases only transfer within a rung.
+     Class [-1] holds the basic-TE rung's single joint LP. *)
+  mutable bases : ((int * int) * Problem.basis) list;
+  mutable steps : int;
+  mutable total_fallbacks : int;
+  mutable total_deadline_hits : int;
+  mutable total_audit_cases : int;
+  mutable total_audit_violations : int;
+  mutable deepest_rung : int;
+}
+
+let create cfg =
+  {
+    cfg;
+    audit_rng = Rng.create cfg.audit_seed;
+    bases = [];
+    steps = 0;
+    total_fallbacks = 0;
+    total_deadline_hits = 0;
+    total_audit_cases = 0;
+    total_audit_violations = 0;
+    deepest_rung = 0;
+  }
+
+let total_fallbacks t = t.total_fallbacks
+let total_deadline_hits t = t.total_deadline_hits
+let total_audit_cases t = t.total_audit_cases
+let total_audit_violations t = t.total_audit_violations
+let deepest_rung t = t.deepest_rung
+let steps_taken t = t.steps
+
+let set_basis t ~rung ~cls basis =
+  match basis with
+  | None -> ()
+  | Some b -> t.bases <- ((rung, cls), b) :: List.remove_assoc (rung, cls) t.bases
+
+let get_basis t ~rung ~cls = List.assoc_opt (rung, cls) t.bases
+
+(* ------------------------------------------------------------------ *)
+(* Degradation ladder                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One step down: shed link protection first (most constraints per unit in
+   the sorting-network encoding), then switch, then control-plane. Applied
+   uniformly to every class, this preserves the componentwise
+   non-increasing-with-priority invariant Priority_te enforces. *)
+let degrade_once (p : Te_types.protection) =
+  if p.Te_types.ke > 0 then { p with Te_types.ke = p.Te_types.ke - 1 }
+  else if p.Te_types.kv > 0 then { p with Te_types.kv = p.Te_types.kv - 1 }
+  else if p.Te_types.kc > 0 then { p with Te_types.kc = p.Te_types.kc - 1 }
+  else p
+
+let rec degrade steps p = if steps <= 0 then p else degrade (steps - 1) (degrade_once p)
+
+let protection_total (p : Te_types.protection) = p.Te_types.kc + p.Te_types.ke + p.Te_types.kv
+
+(* The ladder for this input: FFC rungs strictly above zero protection (a
+   fully-degraded cascade would duplicate the basic-TE rung), then basic TE,
+   then reuse-last-good. *)
+let ladder t (input : Te_types.input) =
+  match t.cfg.mode with
+  | Basic -> [ Basic_te; Last_good ]
+  | Ffc_ladder config_of ->
+    let classes = Priority_te.priorities input in
+    let max_total =
+      List.fold_left
+        (fun acc p -> max acc (protection_total (config_of p).Ffc.protection))
+        0 classes
+    in
+    let reduced = List.init (max 0 (max_total - 1)) (fun i -> Reduced (i + 1)) in
+    (Full_protection :: reduced) @ [ Basic_te; Last_good ]
+
+let protections_at t (input : Te_types.input) kind =
+  match (t.cfg.mode, kind) with
+  | Ffc_ladder config_of, (Full_protection | Reduced _) ->
+    let s = match kind with Reduced s -> s | _ -> 0 in
+    List.map
+      (fun p -> (p, degrade s (config_of p).Ffc.protection))
+      (Priority_te.priorities input)
+  | _ -> []
+
+(* Previous allocation rescaled to current demands: cap each flow's rate at
+   its demand and shrink the tunnel allocations proportionally, so no link
+   load increases — a capacity-feasible stale fallback, never a silent one. *)
+let rescale_last_good (input : Te_types.input) (prev : Te_types.allocation) =
+  let bf =
+    Array.mapi (fun f b -> max 0. (min b input.Te_types.demands.(f))) prev.Te_types.bf
+  in
+  let af =
+    Array.mapi
+      (fun f row ->
+        let ob = prev.Te_types.bf.(f) in
+        if ob <= 1e-12 then Array.map (fun _ -> 0.) row
+        else
+          let s = bf.(f) /. ob in
+          Array.map (fun a -> a *. s) row)
+      prev.Te_types.af
+  in
+  { Te_types.bf; af }
+
+(* ------------------------------------------------------------------ *)
+(* Sampled guarantee auditor                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* After an accepted solve, verify a randomized budget-bounded subset of the
+   Enumerate fault cases (the exhaustive check is exponential). Soundness of
+   the per-class restriction: class p's LP is solved against capacity minus
+   higher-class reservations, so class p's own loads alone are guaranteed
+   under full capacity at its protection level — checking the class-restricted
+   input against Enumerate's per-case verifiers cannot false-positive.
+   The no-fault case is always audited first so gross corruption (a plain
+   capacity violation) is caught even with budget 1. *)
+let audit_class rng ~budget (input : Te_types.input) ~prev ~alloc
+    (prot : Te_types.protection) =
+  let violations = ref 0 and cases = ref 0 and first = ref None in
+  let record = function
+    | Ok () -> incr cases
+    | Error msg ->
+      incr cases;
+      incr violations;
+      if !first = None then first := Some msg
+  in
+  let links, switches = Enumerate.data_fault_universe input in
+  let links = Array.of_list links and switches = Array.of_list switches in
+  let data_case n_links n_switches =
+    let fl = Rng.sample_without_replacement rng n_links links in
+    let fs = Rng.sample_without_replacement rng n_switches switches in
+    record (Enumerate.check_data_case input alloc ~failed_links:fl ~failed_switches:fs)
+  in
+  data_case 0 0;
+  let have_data = prot.Te_types.ke > 0 || prot.Te_types.kv > 0 in
+  let have_control = prot.Te_types.kc > 0 in
+  let ingresses = Array.of_list (Enumerate.control_fault_universe input) in
+  let control_case () =
+    let n = 1 + Rng.int rng prot.Te_types.kc in
+    let stuck = Rng.sample_without_replacement rng n ingresses in
+    record (Enumerate.check_control_case input ~old_alloc:prev ~new_alloc:alloc ~stuck)
+  in
+  let remaining = ref (max 0 (budget - 1)) in
+  while !remaining > 0 do
+    (* Alternate planes when both are protected; sizes are uniform in
+       [1, k] so the extreme (full-k) cases are sampled too. *)
+    let pick_control =
+      match (have_data, have_control) with
+      | true, true -> !remaining land 1 = 0
+      | false, true -> true
+      | true, false -> false
+      | false, false -> false
+    in
+    if pick_control then control_case ()
+    else if have_data then begin
+      (* Never exceed (ke, kv), and never degenerate to the already-checked
+         empty case: at least one failed element is drawn. *)
+      let nl = if prot.Te_types.ke > 0 then 1 + Rng.int rng prot.Te_types.ke else 0 in
+      let nv =
+        if prot.Te_types.kv > 0 then
+          if nl = 0 then 1 + Rng.int rng prot.Te_types.kv
+          else Rng.int rng (prot.Te_types.kv + 1)
+        else 0
+      in
+      data_case nl nv
+    end
+    else remaining := 1 (* unprotected class: the no-fault case was enough *);
+    decr remaining
+  done;
+  { audit_cases = !cases; audit_violations = !violations; first_violation = !first }
+
+let merge_audits a b =
+  {
+    audit_cases = a.audit_cases + b.audit_cases;
+    audit_violations = a.audit_violations + b.audit_violations;
+    first_violation =
+      (match a.first_violation with Some _ as s -> s | None -> b.first_violation);
+  }
+
+let class_input (input : Te_types.input) prio =
+  {
+    input with
+    Te_types.flows =
+      List.filter
+        (fun (f : Ffc_net.Flow.t) -> f.Ffc_net.Flow.priority = prio)
+        input.Te_types.flows;
+  }
+
+let audit_step t (input : Te_types.input) ~prev ~alloc ~kind ~protections =
+  if t.cfg.audit_budget = 0 then None
+  else begin
+    let report =
+      match (kind, protections) with
+      | (Full_protection | Reduced _), _ :: _ ->
+        let per_class = max 1 (t.cfg.audit_budget / List.length protections) in
+        List.fold_left
+          (fun acc (prio, prot) ->
+            let r =
+              audit_class t.audit_rng ~budget:per_class (class_input input prio) ~prev
+                ~alloc prot
+            in
+            match acc with None -> Some r | Some a -> Some (merge_audits a r))
+          None protections
+      | _ ->
+        (* Basic TE / last-good carry no fault guarantee: audit the no-fault
+           capacity + deliverability case so a corrupt or overscaled
+           allocation is still flagged every interval. *)
+        Some
+          (audit_class t.audit_rng ~budget:1 input ~prev ~alloc Te_types.no_protection)
+    in
+    (match report with
+    | Some r ->
+      t.total_audit_cases <- t.total_audit_cases + r.audit_cases;
+      t.total_audit_violations <- t.total_audit_violations + r.audit_violations
+    | None -> ());
+    report
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The step driver                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type attempt_result =
+  | Accepted of Te_types.allocation * (int * Ffc.stats) list
+  | Failed of Te_types.solve_failure
+
+let try_rung t (input : Te_types.input) ~prev ~rung kind =
+  match kind with
+  | Last_good -> Accepted (rescale_last_good input prev, [])
+  | Basic_te -> (
+    match
+      Basic_te.solve_checked ~presolve:t.cfg.presolve
+        ?max_iterations:t.cfg.max_iterations ?deadline_ms:t.cfg.deadline_ms
+        ?warm_start:(get_basis t ~rung ~cls:(-1)) input
+    with
+    | Ok (alloc, basis) ->
+      set_basis t ~rung ~cls:(-1) basis;
+      Accepted (alloc, [])
+    | Error f -> Failed f)
+  | Full_protection | Reduced _ -> (
+    let config_of =
+      match t.cfg.mode with
+      | Ffc_ladder config_of -> config_of
+      | Basic -> invalid_arg "Controller: FFC rung in basic mode"
+    in
+    let s = match kind with Reduced s -> s | _ -> 0 in
+    let config_of' prio =
+      let c = config_of prio in
+      { c with Ffc.protection = degrade s c.Ffc.protection }
+    in
+    let warm_starts =
+      List.filter_map
+        (fun prio -> Option.map (fun b -> (prio, b)) (get_basis t ~rung ~cls:prio))
+        (Priority_te.priorities input)
+    in
+    match
+      Priority_te.solve_warm_checked ~config_of:config_of' ~prev
+        ~presolve:t.cfg.presolve ?max_iterations:t.cfg.max_iterations
+        ?deadline_ms:t.cfg.deadline_ms ~warm_starts input
+    with
+    | Ok (alloc, per_class) ->
+      List.iter (fun (prio, _, basis) -> set_basis t ~rung ~cls:prio basis) per_class;
+      Accepted (alloc, List.map (fun (prio, st, _) -> (prio, st)) per_class)
+    | Error (_prio, f) -> Failed f)
+
+let step t (input : Te_types.input) ~(prev : Te_types.allocation) =
+  let rungs = ladder t input in
+  let attempts = ref [] in
+  let deadline_hits = ref 0 in
+  let rec descend rung = function
+    | [] -> invalid_arg "Controller.step: ladder exhausted (missing last-good rung)"
+    | kind :: rest -> (
+      let protections = protections_at t input kind in
+      let t0 = Clock.now_ms () in
+      let result = try_rung t input ~prev ~rung kind in
+      let solve_ms = Clock.since_ms t0 in
+      let outcome =
+        match result with Accepted _ -> Ok () | Failed f -> Error f
+      in
+      attempts :=
+        { rung; kind; protections; outcome; solve_ms; budget_ms = t.cfg.deadline_ms }
+        :: !attempts;
+      match result with
+      | Failed f ->
+        if f.Te_types.kind = `Deadline then incr deadline_hits;
+        descend (rung + 1) rest
+      | Accepted (alloc, per_class_stats) ->
+        let stale = kind = Last_good in
+        let effective =
+          match protections with
+          | [] -> None
+          | l -> Some (fun prio -> try List.assoc prio l with Not_found -> Te_types.no_protection)
+        in
+        let audit = audit_step t input ~prev ~alloc ~kind ~protections in
+        let attempts = List.rev !attempts in
+        let fallbacks = List.length attempts - 1 in
+        t.steps <- t.steps + 1;
+        t.total_fallbacks <- t.total_fallbacks + fallbacks;
+        t.total_deadline_hits <- t.total_deadline_hits + !deadline_hits;
+        if rung > t.deepest_rung then t.deepest_rung <- rung;
+        {
+          alloc;
+          rung;
+          kind;
+          label = rung_label kind;
+          attempts;
+          fallbacks;
+          deadline_hits = !deadline_hits;
+          stale;
+          effective;
+          per_class_stats;
+          audit;
+        })
+  in
+  descend 0 rungs
+
+(* Protection edge actually guaranteed by this step (minimum ke/kv across
+   classes): the reaction rule must use the degraded level, not the
+   requested one. Basic TE and last-good guarantee nothing: edge (0, 0). *)
+let step_edge step =
+  let accepted_protections =
+    match List.rev step.attempts with a :: _ -> a.protections | [] -> []
+  in
+  match (step.effective, accepted_protections) with
+  | None, _ | _, [] -> (0, 0)
+  | Some _, l ->
+    List.fold_left
+      (fun (ke, kv) (_, (p : Te_types.protection)) ->
+        (min ke p.Te_types.ke, min kv p.Te_types.kv))
+      (max_int, max_int) l

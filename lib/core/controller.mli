@@ -1,0 +1,153 @@
+(** Resilient TE controller: every solve goes through a graceful-degradation
+    ladder, and every accepted allocation is spot-audited against the FFC
+    guarantees.
+
+    A TE controller must fail {e downward} — through weaker guarantees —
+    never silently or late. Each {!step} attempts the configured mode at
+    full protection and, on solver failure (infeasibility, iteration limit,
+    wall-clock deadline expiry, numeric trouble), descends a ladder:
+
+    + rung 0 — FFC at the requested per-class protection;
+    + rungs 1..n — protection degraded one unit per rung ([ke] first, then
+      [kv], then [kc], uniformly across classes, which preserves the
+      non-increasing-with-priority invariant of {!Priority_te});
+    + basic TE (no fault protection, cheapest LP);
+    + last-good — the previously installed allocation rescaled down to
+      current demands (never increases any link load, always succeeds).
+
+    Every attempt — failed or accepted — is recorded in the returned
+    {!step} telemetry, so callers can count fallbacks, deadline hits and
+    the rung distribution instead of masking solver failures.
+
+    The always-on sampled auditor re-verifies each accepted allocation on a
+    randomized, budget-bounded subset of the {!Enumerate} fault cases at the
+    {e effective} (possibly degraded) protection level: per class, the
+    no-fault case plus random data-plane cases of up to the class's
+    [(ke, kv)] and control-plane cases of up to its [kc]. The basic-TE and
+    last-good rungs guarantee nothing under faults, so they are audited on
+    the no-fault (capacity + deliverability) case only. *)
+
+type mode =
+  | Basic  (** basic TE only (the reactive controller's solve) *)
+  | Ffc_ladder of (int -> Ffc.config)
+      (** FFC per priority class, degraded rung by rung on failure *)
+
+type config = {
+  mode : mode;
+  deadline_ms : float option;  (** wall-clock budget per ladder attempt *)
+  max_iterations : int option;  (** simplex pivot cap per LP *)
+  audit_budget : int;  (** sampled audit cases per accepted solve; 0 = off *)
+  audit_seed : int;
+  presolve : bool;  (** keep [false] so warm-start bases stay applicable *)
+}
+
+val config :
+  ?deadline_ms:float ->
+  ?max_iterations:int ->
+  ?audit_budget:int ->
+  ?audit_seed:int ->
+  ?presolve:bool ->
+  mode ->
+  config
+(** Defaults: no deadline, no iteration cap, audit budget 8, presolve off. *)
+
+type rung_kind =
+  | Full_protection
+  | Reduced of int  (** degradation steps applied to every class *)
+  | Basic_te
+  | Last_good
+
+val rung_label : rung_kind -> string
+(** ["full"], ["reduced-<n>"], ["basic-te"], ["last-good"]. *)
+
+type attempt = {
+  rung : int;  (** ladder position, 0 = full protection *)
+  kind : rung_kind;
+  protections : (int * Te_types.protection) list;
+      (** per-class protection attempted (empty on basic/last-good rungs) *)
+  outcome : (unit, Te_types.solve_failure) result;
+  solve_ms : float;  (** wall-clock spent on this attempt *)
+  budget_ms : float option;  (** the deadline this attempt ran under *)
+}
+
+type audit_report = {
+  audit_cases : int;
+  audit_violations : int;
+  first_violation : string option;
+}
+
+type step = {
+  alloc : Te_types.allocation;  (** the accepted allocation *)
+  rung : int;  (** rung finally accepted *)
+  kind : rung_kind;
+  label : string;
+  attempts : attempt list;  (** chronological; last one is the accepted *)
+  fallbacks : int;  (** failed attempts before acceptance *)
+  deadline_hits : int;  (** attempts that died on the wall-clock deadline *)
+  stale : bool;  (** [true] iff the last-good rung was used *)
+  effective : (int -> Te_types.protection) option;
+      (** per-class protection actually guaranteed; [None] when the accepted
+          rung carries no fault guarantee (basic TE / last-good) *)
+  per_class_stats : (int * Ffc.stats) list;  (** accepted FFC rung only *)
+  audit : audit_report option;  (** [None] iff auditing is disabled *)
+}
+
+type t
+(** Mutable controller state: warm-start basis caches keyed by
+    (rung, priority class) — bases do not transfer across rungs because each
+    rung builds a differently-shaped LP — plus lifetime telemetry counters. *)
+
+val create : config -> t
+
+val step : t -> Te_types.input -> prev:Te_types.allocation -> step
+(** Compute this interval's target allocation, descending the ladder until a
+    rung succeeds. [prev] is the currently-installed allocation (used for
+    control-plane constraints, warm context and the last-good rung; pass
+    {!Te_types.zero_allocation} initially). Never raises on solver failure —
+    the last-good rung always succeeds. *)
+
+val step_edge : step -> int * int
+(** [(ke, kv)] protection edge actually guaranteed by an accepted step (the
+    minimum across classes of the {e effective} protection); [(0, 0)] for
+    basic TE and last-good. The reaction rule must use this, not the
+    requested protection. *)
+
+val degrade_once : Te_types.protection -> Te_types.protection
+(** One ladder step: decrement [ke], else [kv], else [kc]; identity at zero
+    protection. *)
+
+val degrade : int -> Te_types.protection -> Te_types.protection
+(** [degrade s p] applies {!degrade_once} [s] times. *)
+
+val rescale_last_good :
+  Te_types.input -> Te_types.allocation -> Te_types.allocation
+(** The last-good rung's transform: cap each flow's rate at its current
+    demand and shrink its tunnel allocations proportionally (no link load
+    ever increases). *)
+
+val audit_class :
+  Ffc_util.Rng.t ->
+  budget:int ->
+  Te_types.input ->
+  prev:Te_types.allocation ->
+  alloc:Te_types.allocation ->
+  Te_types.protection ->
+  audit_report
+(** The sampled auditor on one (class-restricted) input: the no-fault case
+    first, then up to [budget - 1] random {!Enumerate.check_data_case} /
+    {!Enumerate.check_control_case} draws within the protection level. *)
+
+(** {2 Lifetime telemetry} *)
+
+val steps_taken : t -> int
+
+val total_fallbacks : t -> int
+(** Failed ladder attempts across all steps. *)
+
+val total_deadline_hits : t -> int
+
+val total_audit_cases : t -> int
+
+val total_audit_violations : t -> int
+
+val deepest_rung : t -> int

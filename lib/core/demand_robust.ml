@@ -65,6 +65,7 @@ let solve ?(config = Ffc.config ()) ~peaks ~gamma (input : Te_types.input) =
   | Model.Infeasible -> Error "demand-robust TE: infeasible (unexpected)"
   | Model.Unbounded -> Error "demand-robust TE: unbounded (unexpected)"
   | Model.Iteration_limit -> Error "demand-robust TE: iteration limit"
+  | Model.Deadline_exceeded -> Error "demand-robust TE: deadline exceeded"
 
 let worst_case_utilisation (input : Te_types.input) ~peaks ~gamma
     (alloc : Te_types.allocation) =

@@ -162,6 +162,7 @@ let solve ?(backend = `Revised) ?(rl_mode = Ffc.Rl_assumed_reliable)
   | Model.Infeasible -> Error "enumerated FFC: infeasible"
   | Model.Unbounded -> Error "enumerated FFC: unbounded"
   | Model.Iteration_limit -> Error "enumerated FFC: iteration limit"
+  | Model.Deadline_exceeded -> Error "enumerated FFC: deadline exceeded"
 
 (* ------------------------------------------------------------------ *)
 (* Verification                                                         *)
@@ -202,7 +203,25 @@ let rescaled_loads (input : Te_types.input) (alloc : Te_types.allocation) ~faile
     input.Te_types.flows;
   (loads, !blackholed)
 
-let verify_data_plane (input : Te_types.input) alloc ~ke ~kv =
+(* One data-plane fault case: the per-case body of {!verify_data_plane},
+   exposed so the sampled auditor ({!Controller}) can check a randomized
+   subset of the exponential case space. *)
+let check_data_case (input : Te_types.input) alloc ~failed_links ~failed_switches =
+  let loads, blackholed =
+    rescaled_loads input alloc
+      ~failed_links:(fun l -> List.mem l failed_links)
+      ~failed_switches:(fun v -> List.mem v failed_switches)
+  in
+  let context =
+    Printf.sprintf "links=[%s] switches=[%s]"
+      (String.concat "," (List.map string_of_int failed_links))
+      (String.concat "," (List.map string_of_int failed_switches))
+  in
+  match blackholed with
+  | f :: _ -> Error (Printf.sprintf "%s: flow %d blackholed" context f)
+  | [] -> check_loads input loads ~context
+
+let data_fault_universe (input : Te_types.input) =
   let all_links =
     List.sort_uniq compare
       (List.concat_map
@@ -212,28 +231,18 @@ let verify_data_plane (input : Te_types.input) alloc ~ke ~kv =
              f.Flow.tunnels)
          input.Te_types.flows)
   in
-  let all_switches = Topology.switches input.Te_types.topo in
+  (all_links, Topology.switches input.Te_types.topo)
+
+let verify_data_plane (input : Te_types.input) alloc ~ke ~kv =
+  let all_links, all_switches = data_fault_universe input in
   let link_cases = subsets_upto all_links ke in
   let switch_cases = subsets_upto all_switches kv in
   let rec check_cases = function
     | [] -> Ok ()
     | (fl, fs) :: rest -> (
-      let loads, blackholed =
-        rescaled_loads input alloc
-          ~failed_links:(fun l -> List.mem l fl)
-          ~failed_switches:(fun v -> List.mem v fs)
-      in
-      let context =
-        Printf.sprintf "links=[%s] switches=[%s]"
-          (String.concat "," (List.map string_of_int fl))
-          (String.concat "," (List.map string_of_int fs))
-      in
-      match blackholed with
-      | f :: _ -> Error (Printf.sprintf "%s: flow %d blackholed" context f)
-      | [] -> (
-        match check_loads input loads ~context with
-        | Ok () -> check_cases rest
-        | Error _ as e -> e))
+      match check_data_case input alloc ~failed_links:fl ~failed_switches:fs with
+      | Ok () -> check_cases rest
+      | Error _ as e -> e)
   in
   check_cases (List.concat_map (fun fl -> List.map (fun fs -> (fl, fs)) switch_cases) link_cases)
 
@@ -311,19 +320,23 @@ let verify_combined (input : Te_types.input) ~old_alloc ~new_alloc
          List.concat_map (fun fl -> List.map (fun fs -> (stuck, fl, fs)) switch_cases) link_cases)
        stuck_cases)
 
-let verify_control_plane (input : Te_types.input) ~old_alloc ~new_alloc ~kc =
-  let ingresses =
-    List.sort_uniq compare (List.map (fun (f : Flow.t) -> f.Flow.src) input.Te_types.flows)
+(* One control-plane fault case, for the same sampled-audit use. *)
+let check_control_case (input : Te_types.input) ~old_alloc ~new_alloc ~stuck =
+  let loads = stuck_loads input ~old_alloc ~new_alloc ~stuck in
+  let context =
+    Printf.sprintf "stuck=[%s]" (String.concat "," (List.map string_of_int stuck))
   in
+  check_loads input loads ~context
+
+let control_fault_universe (input : Te_types.input) =
+  List.sort_uniq compare (List.map (fun (f : Flow.t) -> f.Flow.src) input.Te_types.flows)
+
+let verify_control_plane (input : Te_types.input) ~old_alloc ~new_alloc ~kc =
   let rec check_cases = function
     | [] -> Ok ()
     | stuck :: rest -> (
-      let loads = stuck_loads input ~old_alloc ~new_alloc ~stuck in
-      let context =
-        Printf.sprintf "stuck=[%s]" (String.concat "," (List.map string_of_int stuck))
-      in
-      match check_loads input loads ~context with
+      match check_control_case input ~old_alloc ~new_alloc ~stuck with
       | Ok () -> check_cases rest
       | Error _ as e -> e)
   in
-  check_cases (subsets_upto ingresses kc)
+  check_cases (subsets_upto (control_fault_universe input) kc)

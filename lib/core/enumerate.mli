@@ -33,6 +33,32 @@ val solve :
 
 (** {2 Allocation verification} *)
 
+val data_fault_universe : Te_types.input -> int list * Ffc_net.Topology.switch list
+(** The (link ids, switches) the data-plane verifier enumerates over: every
+    link any tunnel crosses, and every switch. Exposed so a sampled auditor
+    can draw random fault cases from the same universe. *)
+
+val control_fault_universe : Te_types.input -> Ffc_net.Topology.switch list
+(** The ingress switches the control-plane verifier enumerates over. *)
+
+val check_data_case :
+  Te_types.input ->
+  Te_types.allocation ->
+  failed_links:int list ->
+  failed_switches:Ffc_net.Topology.switch list ->
+  (unit, string) result
+(** One data-plane fault case of {!verify_data_plane}: rescale onto residual
+    tunnels, then check for blackholed flows (failed endpoints excluded) and
+    overloaded links. *)
+
+val check_control_case :
+  Te_types.input ->
+  old_alloc:Te_types.allocation ->
+  new_alloc:Te_types.allocation ->
+  stuck:Ffc_net.Topology.switch list ->
+  (unit, string) result
+(** One control-plane fault case of {!verify_control_plane}. *)
+
 val verify_data_plane :
   Te_types.input -> Te_types.allocation -> ke:int -> kv:int -> (unit, string) result
 (** Simulate every fault case of up to [ke] link and [kv] switch failures:

@@ -36,6 +36,7 @@ let solve ?(config = Ffc.config ()) ?prev ?reserved ?(alpha = 2.) ?b0
       | Model.Infeasible -> Error "fairness iteration: infeasible"
       | Model.Unbounded -> Error "fairness iteration: unbounded"
       | Model.Iteration_limit -> Error "fairness iteration: LP iteration limit"
+  | Model.Deadline_exceeded -> Error "fairness iteration: deadline exceeded"
     in
     let rec loop floor_cap cap iters last =
       let all_frozen =

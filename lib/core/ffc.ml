@@ -255,11 +255,11 @@ let build ?(config = config ()) ?prev ?prev2 ?(uncertain_flows = []) ?reserved
   add_data_plane_constraints cfg vars input;
   vars
 
-let solve ?(config = config ()) ?prev ?prev2 ?uncertain_flows ?reserved ?presolve ?warm_start
-    (input : Te_types.input) =
+let solve_checked ?(config = config ()) ?prev ?prev2 ?uncertain_flows ?reserved ?presolve
+    ?max_iterations ?deadline_ms ?warm_start (input : Te_types.input) =
   let t0 = Ffc_util.Clock.now_ms () in
   match build ~config ?prev ?prev2 ?uncertain_flows ?reserved input with
-  | exception Invalid_argument msg -> Error msg
+  | exception Invalid_argument msg -> Error (Te_types.failure `Infeasible msg)
   | vars -> (
     let model = vars.Formulation.model in
     Model.maximize model (Formulation.total_rate_expr vars);
@@ -271,14 +271,27 @@ let solve ?(config = config ()) ?prev ?prev2 ?uncertain_flows ?reserved ?presolv
        (the basis would be rejected) or row order (worse: slacks silently
        re-mapped). Callers chaining bases should pass ~presolve:false on
        every solve of the chain. *)
-    let outcome = Model.solve ~backend:config.backend ?presolve ?warm_start model in
-    let solve_ms = Ffc_util.Clock.since_ms t1 in
-    let fail what =
-      match Model.last_stats model with
-      | Some st when st.Problem.status_reason <> "" ->
-        Error (Printf.sprintf "FFC TE: %s (%s)" what st.Problem.status_reason)
-      | _ -> Error (Printf.sprintf "FFC TE: %s" what)
+    (* The deadline covers the whole attempt: model build time is deducted
+       from the solver's budget (a budget exhausted by the build fails the
+       attempt immediately rather than granting the simplex a fresh one). *)
+    let remaining_ms = Option.map (fun d -> d -. build_ms) deadline_ms in
+    let fail kind what =
+      let msg =
+        match Model.last_stats model with
+        | Some st when st.Problem.status_reason <> "" ->
+          Printf.sprintf "FFC TE: %s (%s)" what st.Problem.status_reason
+        | _ -> Printf.sprintf "FFC TE: %s" what
+      in
+      Error (Te_types.failure kind msg)
     in
+    if (match remaining_ms with Some r -> r <= 0. | None -> false) then
+      fail `Deadline "deadline exceeded (model build)"
+    else
+    let outcome =
+      Model.solve ~backend:config.backend ?presolve ?max_iterations
+        ?deadline_ms:remaining_ms ?warm_start model
+    in
+    let solve_ms = Ffc_util.Clock.since_ms t1 in
     match outcome with
     | Model.Optimal sol ->
       Ok
@@ -287,6 +300,14 @@ let solve ?(config = config ()) ?prev ?prev2 ?uncertain_flows ?reserved ?presolv
           stats = mk_stats ~build_ms ~solve_ms model;
           basis = Model.solution_basis sol;
         }
-    | Model.Infeasible -> fail "infeasible"
-    | Model.Unbounded -> fail "unbounded (unexpected)"
-    | Model.Iteration_limit -> fail "iteration limit reached")
+    | Model.Infeasible -> fail `Infeasible "infeasible"
+    | Model.Unbounded -> fail `Unbounded "unbounded (unexpected)"
+    | Model.Iteration_limit -> fail `Iteration_limit "iteration limit reached"
+    | Model.Deadline_exceeded -> fail `Deadline "deadline exceeded")
+
+let solve ?config ?prev ?prev2 ?uncertain_flows ?reserved ?presolve ?warm_start
+    (input : Te_types.input) =
+  Result.map_error
+    (fun (f : Te_types.solve_failure) -> f.Te_types.message)
+    (solve_checked ?config ?prev ?prev2 ?uncertain_flows ?reserved ?presolve ?warm_start
+       input)

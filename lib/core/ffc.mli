@@ -140,3 +140,21 @@ val solve :
     data-dependently, callers chaining bases across re-solves should pass
     [~presolve:false] on every solve of the chain so the column layout stays
     stable. *)
+
+val solve_checked :
+  ?config:config ->
+  ?prev:Te_types.allocation ->
+  ?prev2:Te_types.allocation ->
+  ?uncertain_flows:int list ->
+  ?reserved:float array ->
+  ?presolve:bool ->
+  ?max_iterations:int ->
+  ?deadline_ms:float ->
+  ?warm_start:Ffc_lp.Problem.basis ->
+  Te_types.input ->
+  (result, Te_types.solve_failure) Stdlib.result
+(** Like {!solve} but failures carry a machine-readable
+    {!Te_types.failure_kind} (so the degradation ladder in {!Controller} can
+    distinguish deadline expiry and iteration limits from infeasibility),
+    and the underlying LP solve can be bounded by [max_iterations] pivots
+    and/or a [deadline_ms] wall-clock budget. *)

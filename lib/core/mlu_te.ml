@@ -59,3 +59,4 @@ let solve ?(config = Ffc.config ()) ?prev ?(sigma = 1.) (input : Te_types.input)
   | Model.Infeasible -> Error "MLU TE: infeasible (check tau_f > 0 for all flows)"
   | Model.Unbounded -> Error "MLU TE: unbounded (unexpected)"
   | Model.Iteration_limit -> Error "MLU TE: iteration limit"
+  | Model.Deadline_exceeded -> Error "MLU TE: deadline exceeded"

@@ -18,12 +18,20 @@ let check_monotone config_of classes =
   in
   go classes
 
-let solve_warm ~config_of ?prev ?presolve ?(warm_starts = []) (input : Te_types.input) =
+let solve_warm_checked ~config_of ?prev ?presolve ?max_iterations ?deadline_ms
+    ?(warm_starts = []) (input : Te_types.input) =
   let classes = priorities input in
   check_monotone config_of classes;
   let nlinks = Topology.num_links input.Te_types.topo in
   let reserved = Array.make nlinks 0. in
   let merged = Te_types.zero_allocation input in
+  (* The wall-clock budget covers the whole cascade: each class gets what is
+     left of it, so a slow high-priority class cannot push the cascade past
+     the caller's deadline unnoticed. *)
+  let t0 = Ffc_util.Clock.now_ms () in
+  let remaining_deadline () =
+    Option.map (fun d -> d -. Ffc_util.Clock.since_ms t0) deadline_ms
+  in
   let rec go stats = function
     | [] -> Ok (merged, List.rev stats)
     | prio :: rest -> (
@@ -33,10 +41,17 @@ let solve_warm ~config_of ?prev ?presolve ?(warm_starts = []) (input : Te_types.
       let class_input = { input with Te_types.flows = class_flows } in
       let warm_start = List.assoc_opt prio warm_starts in
       match
-        Ffc.solve ~config:(config_of prio) ?prev ~reserved:(Array.copy reserved) ?presolve
-          ?warm_start class_input
+        Ffc.solve_checked ~config:(config_of prio) ?prev ~reserved:(Array.copy reserved)
+          ?presolve ?max_iterations ?deadline_ms:(remaining_deadline ()) ?warm_start
+          class_input
       with
-      | Error e -> Error (Printf.sprintf "priority %d: %s" prio e)
+      | Error f ->
+        Error
+          ( prio,
+            {
+              f with
+              Te_types.message = Printf.sprintf "priority %d: %s" prio f.Te_types.message;
+            } )
       | Ok r ->
         (* Reserve only this class's *actual* traffic-split loads, not its
            planned upper bounds: the spare capacity set aside to protect a
@@ -55,6 +70,11 @@ let solve_warm ~config_of ?prev ?presolve ?(warm_starts = []) (input : Te_types.
         go ((prio, r.Ffc.stats, r.Ffc.basis) :: stats) rest)
   in
   go [] classes
+
+let solve_warm ~config_of ?prev ?presolve ?warm_starts (input : Te_types.input) =
+  Result.map_error
+    (fun ((_prio, f) : int * Te_types.solve_failure) -> f.Te_types.message)
+    (solve_warm_checked ~config_of ?prev ?presolve ?warm_starts input)
 
 let solve ~config_of ?prev (input : Te_types.input) =
   Result.map

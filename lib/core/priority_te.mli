@@ -31,5 +31,22 @@ val solve_warm :
     start. Chain bases with [~presolve:false] so each class's column layout
     is identical across re-solves. *)
 
+val solve_warm_checked :
+  config_of:(int -> Ffc.config) ->
+  ?prev:Te_types.allocation ->
+  ?presolve:bool ->
+  ?max_iterations:int ->
+  ?deadline_ms:float ->
+  ?warm_starts:(int * Ffc_lp.Problem.basis) list ->
+  Te_types.input ->
+  ( Te_types.allocation * (int * Ffc.stats * Ffc_lp.Problem.basis option) list,
+    int * Te_types.solve_failure )
+  result
+(** Like {!solve_warm} but failures carry the failing class and the
+    machine-readable {!Te_types.failure_kind}, and the cascade accepts LP
+    bounds: [max_iterations] applies per class, while [deadline_ms] is a
+    wall-clock budget for the whole cascade (each class is given what
+    remains of it). *)
+
 val priorities : Te_types.input -> int list
 (** Distinct priority classes, ascending (highest priority first). *)

@@ -80,3 +80,4 @@ let solve ?(config = Ffc.config ()) ~(prev : Te_types.allocation) (input : Te_ty
   | Model.Infeasible -> Error "rate-limiter FFC: infeasible"
   | Model.Unbounded -> Error "rate-limiter FFC: unbounded"
   | Model.Iteration_limit -> Error "rate-limiter FFC: iteration limit"
+  | Model.Deadline_exceeded -> Error "rate-limiter FFC: deadline exceeded"

@@ -110,6 +110,7 @@ let solve ?(backend = `Revised) ~ke (input : Te_types.input) =
   | Model.Infeasible -> Error "residual-weights TE: infeasible (unexpected)"
   | Model.Unbounded -> Error "residual-weights TE: unbounded (unexpected)"
   | Model.Iteration_limit -> Error "residual-weights TE: iteration limit"
+  | Model.Deadline_exceeded -> Error "residual-weights TE: deadline exceeded"
 
 let verify (input : Te_types.input) result ~ke =
   let tol = 1e-6 in

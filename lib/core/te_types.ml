@@ -47,6 +47,18 @@ let split_loads input alloc =
       let w = weights alloc f.Flow.id in
       Array.map (fun wi -> wi *. alloc.bf.(f.Flow.id)) w)
 
+type failure_kind = [ `Infeasible | `Unbounded | `Iteration_limit | `Deadline ]
+
+type solve_failure = { kind : failure_kind; message : string }
+
+let failure_kind_label = function
+  | `Infeasible -> "infeasible"
+  | `Unbounded -> "unbounded"
+  | `Iteration_limit -> "iteration-limit"
+  | `Deadline -> "deadline"
+
+let failure kind message = { kind; message }
+
 type protection = { kc : int; ke : int; kv : int }
 
 let no_protection = { kc = 0; ke = 0; kv = 0 }

@@ -36,6 +36,17 @@ val split_loads : input -> allocation -> float array
     actual no-fault data-plane load; [<= link_loads] pointwise whenever
     [sum_t a_{f,t} >= b_f]). *)
 
+type failure_kind = [ `Infeasible | `Unbounded | `Iteration_limit | `Deadline ]
+(** Why a TE solve failed, preserved in machine-readable form so callers
+    (notably {!Controller}) can choose how to degrade instead of parsing the
+    error message. *)
+
+type solve_failure = { kind : failure_kind; message : string }
+
+val failure_kind_label : failure_kind -> string
+
+val failure : failure_kind -> string -> solve_failure
+
 type protection = { kc : int; ke : int; kv : int }
 (** Protection level: up to [kc] switch-configuration faults, [ke] link
     failures, [kv] switch failures (§4.5). *)

@@ -170,3 +170,4 @@ let plan ?(config = Ffc.config ()) ?(steps = 2) ?warm_start (input : Te_types.in
       (Printf.sprintf "no congestion-free %d-step update plan exists (try more steps)" steps)
   | Model.Unbounded -> Error "update plan: unbounded (unexpected)"
   | Model.Iteration_limit -> Error "update plan: iteration limit"
+  | Model.Deadline_exceeded -> Error "update plan: deadline exceeded"

@@ -93,9 +93,11 @@ let standardise (p : Problem.t) =
 
 let eps = 1e-9
 
+module Clock = Ffc_util.Clock
+
 (* Full tableau over columns [0..n-1] structural, [n..n+m-1] artificial,
    column n+m = rhs. Row m is the objective row. *)
-let solve ?max_iterations (p : Problem.t) =
+let solve ?max_iterations ?deadline_ms (p : Problem.t) =
   let sf = standardise p in
   let m = Array.length sf.b in
   let n = sf.n in
@@ -112,6 +114,14 @@ let solve ?max_iterations (p : Problem.t) =
     match max_iterations with Some k -> k | None -> 200 * (m + n) + 5_000
   in
   let iterations = ref 0 in
+  let deadline_at =
+    match deadline_ms with None -> infinity | Some d -> Clock.now_ms () +. d
+  in
+  let deadline_expired () =
+    Float.is_finite deadline_at
+    && !iterations land 15 = 0
+    && Clock.now_ms () >= deadline_at
+  in
   (* Bland's rule: entering = lowest-index column with negative reduced cost,
      leaving = lowest-index basic among the min-ratio rows. *)
   let pivot r c =
@@ -132,6 +142,7 @@ let solve ?max_iterations (p : Problem.t) =
   in
   let rec iterate allowed =
     if !iterations > max_iterations then `Iterlimit
+    else if deadline_expired () then `Deadline
     else begin
       let enter = ref (-1) in
       (try
@@ -204,6 +215,7 @@ let solve ?max_iterations (p : Problem.t) =
   in
   match iterate (fun _ -> true) with
   | `Iterlimit -> finish Problem.Iteration_limit None
+  | `Deadline -> finish Problem.Deadline_exceeded None
   | `Unbounded -> finish Problem.Infeasible None (* phase 1 cannot be unbounded *)
   | `Optimal ->
     let phase1_obj = -.t.(m).(width - 1) in
@@ -238,6 +250,7 @@ let solve ?max_iterations (p : Problem.t) =
       let allowed j = j < n in
       match iterate allowed with
       | `Iterlimit -> finish Problem.Iteration_limit None
+      | `Deadline -> finish Problem.Deadline_exceeded None
       | `Unbounded -> finish Problem.Unbounded None
       | `Optimal ->
         let xs = Array.make n 0. in

@@ -6,6 +6,7 @@
     bound), so this solver is only suitable for small problems — the test
     harness keeps instances to tens of rows. *)
 
-val solve : ?max_iterations:int -> Problem.t -> Problem.result
+val solve : ?max_iterations:int -> ?deadline_ms:float -> Problem.t -> Problem.result
 (** Same contract as {!Revised.solve}: the returned [x] covers all columns
-    (structural and slack) of the input problem. *)
+    (structural and slack) of the input problem, and [deadline_ms] bounds the
+    wall-clock time of the solve (checked every few pivots). *)

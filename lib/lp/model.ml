@@ -69,7 +69,12 @@ type solution = {
   basis : Problem.basis option;
 }
 
-type outcome = Optimal of solution | Infeasible | Unbounded | Iteration_limit
+type outcome =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+  | Deadline_exceeded
 
 type backend = [ `Revised | `Dense_tableau ]
 
@@ -87,7 +92,7 @@ let to_problem ?(presolve = true) t =
       Some (Problem.build ~nstruct:t.nvars ~lb ~ub ~obj ~rows)
   else Some (Problem.build ~nstruct:t.nvars ~lb ~ub ~obj ~rows)
 
-let solve ?(backend = `Revised) ?presolve ?warm_start t =
+let solve ?(backend = `Revised) ?presolve ?max_iterations ?deadline_ms ?warm_start t =
   match to_problem ?presolve t with
   | None ->
     t.last_stats <- Some (Problem.default_stats ~reason:"presolve-infeasible" ());
@@ -95,8 +100,8 @@ let solve ?(backend = `Revised) ?presolve ?warm_start t =
   | Some p ->
   let result =
     match backend with
-    | `Revised -> Revised.solve ?basis:warm_start p
-    | `Dense_tableau -> Dense_tableau.solve p
+    | `Revised -> Revised.solve ?max_iterations ?deadline_ms ?basis:warm_start p
+    | `Dense_tableau -> Dense_tableau.solve ?max_iterations ?deadline_ms p
   in
   t.last_stats <- Some result.Problem.stats;
   match result.Problem.status with
@@ -109,6 +114,7 @@ let solve ?(backend = `Revised) ?presolve ?warm_start t =
   | Problem.Infeasible -> Infeasible
   | Problem.Unbounded -> Unbounded
   | Problem.Iteration_limit -> Iteration_limit
+  | Problem.Deadline_exceeded -> Deadline_exceeded
 
 let last_stats t = t.last_stats
 

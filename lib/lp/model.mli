@@ -35,18 +35,30 @@ type outcome =
   | Infeasible
   | Unbounded
   | Iteration_limit
+  | Deadline_exceeded
+      (** the [?deadline_ms] wall-clock budget expired mid-solve; see
+          {!last_stats} for which phase was cut *)
 
 type backend = [ `Revised | `Dense_tableau ]
 
 val solve :
-  ?backend:backend -> ?presolve:bool -> ?warm_start:Problem.basis -> t -> outcome
+  ?backend:backend ->
+  ?presolve:bool ->
+  ?max_iterations:int ->
+  ?deadline_ms:float ->
+  ?warm_start:Problem.basis ->
+  t ->
+  outcome
 (** Solve the model as currently built. The model remains usable (more
     constraints may be added and it can be re-solved). Default backend is
     [`Revised]; {!Presolve} runs first unless [~presolve:false].
-    [?warm_start] seeds the revised simplex with a basis snapshot from a
-    previous solve of a same-shaped model (see {!solution_basis}); it is
-    ignored by the dense-tableau backend and silently dropped (recorded in
-    the stats) when its dimension does not match. *)
+    [?max_iterations] caps simplex pivots and [?deadline_ms] bounds the solve
+    wall-clock (both backends); expiry yields {!Iteration_limit} /
+    {!Deadline_exceeded} respectively. [?warm_start] seeds the revised
+    simplex with a basis snapshot from a previous solve of a same-shaped
+    model (see {!solution_basis}); it is ignored by the dense-tableau backend
+    and silently dropped (recorded in the stats) when its dimension does not
+    match. *)
 
 val last_stats : t -> Problem.solver_stats option
 (** Instrumentation of the most recent [solve] on this model, available

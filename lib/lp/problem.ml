@@ -67,7 +67,7 @@ let build ~nstruct ~lb ~ub ~obj ~rows =
   done;
   { nstruct; ncols; nrows; col_rows; col_vals; lb = lb'; ub = ub'; obj = obj'; rhs }
 
-type status = Optimal | Infeasible | Unbounded | Iteration_limit
+type status = Optimal | Infeasible | Unbounded | Iteration_limit | Deadline_exceeded
 
 type col_status = Bs_basic | Bs_lower | Bs_upper | Bs_free
 

@@ -32,7 +32,14 @@ val build :
     [0..nstruct-1]. Raises [Invalid_argument] on malformed input (bad index,
     [lb > ub], NaN). *)
 
-type status = Optimal | Infeasible | Unbounded | Iteration_limit
+type status =
+  | Optimal
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+  | Deadline_exceeded
+      (** the wall-clock budget passed as [?deadline_ms] expired before the
+          solve finished; [stats.status_reason] records which phase was cut *)
 
 type col_status = Bs_basic | Bs_lower | Bs_upper | Bs_free
 (** Per-column basis status: in the basis, nonbasic at a bound, or nonbasic

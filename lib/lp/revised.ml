@@ -91,6 +91,7 @@ type state = {
   mutable degenerate_run : int;
   mutable iterations : int;
   mutable restoring : bool; (* feasibility-restoration ratio-test mode *)
+  mutable deadline_at : float; (* absolute Clock.now_ms deadline; infinity = none *)
   acc : acc;
 }
 
@@ -454,8 +455,18 @@ let refresh_restore_costs st =
   done
 
 (* Run simplex iterations with the current [st.cost] until optimal, unbounded,
-   or iteration budget exhausted. *)
-type phase_outcome = Phase_optimal | Phase_unbounded | Phase_iterlimit
+   iteration budget exhausted, or wall-clock deadline expired. *)
+type phase_outcome = Phase_optimal | Phase_unbounded | Phase_iterlimit | Phase_deadline
+
+(* Deadline checks cost a clock read, so sample every [deadline_check_interval]
+   pivots (including iteration 0, catching an already-expired budget before any
+   pivoting work). *)
+let deadline_check_interval = 16
+
+let deadline_expired st =
+  Float.is_finite st.deadline_at
+  && st.iterations land (deadline_check_interval - 1) = 0
+  && Clock.now_ms () >= st.deadline_at
 
 let run_phase st ~max_iterations =
   let y = Array.make st.m 0. in
@@ -463,6 +474,7 @@ let run_phase st ~max_iterations =
   let check_interval = 128 in
   let rec loop () =
     if st.iterations >= max_iterations then Phase_iterlimit
+    else if deadline_expired st then Phase_deadline
     else begin
       if st.iterations mod check_interval = check_interval - 1 then begin
         let drift = recompute_basics st in
@@ -539,6 +551,7 @@ let make_state acc (p : Problem.t) ~lb ~ub ~vstat ~xval ~art_sign =
     degenerate_run = 0;
     iterations = 0;
     restoring = false;
+    deadline_at = infinity;
     acc;
   }
 
@@ -681,6 +694,7 @@ let restore_feasibility st ~max_iterations =
       st.degenerate_run <- 0;
       match run_phase st ~max_iterations with
       | Phase_iterlimit -> `Iterlimit
+      | Phase_deadline -> `Deadline
       | Phase_unbounded ->
         (* The restoration objective is bounded below: numerical trouble. *)
         `Stuck
@@ -769,9 +783,11 @@ let run_phase2 st ~max_iterations ~phase1 ~warm =
     finish st ~phase1 ~warm Problem.Optimal "optimal"
   | Phase_unbounded -> finish st ~phase1 ~warm Problem.Unbounded "unbounded"
   | Phase_iterlimit -> finish st ~phase1 ~warm Problem.Iteration_limit "iteration-limit (phase 2)"
+  | Phase_deadline -> finish st ~phase1 ~warm Problem.Deadline_exceeded "deadline (phase 2)"
 
-let cold_solve acc (p : Problem.t) ~max_iterations =
+let cold_solve acc (p : Problem.t) ~max_iterations ~deadline_at =
   let st = initial_state acc p in
+  st.deadline_at <- deadline_at;
   (* Phase 1: minimise the artificial sum. *)
   for i = 0 to st.m - 1 do
     st.cost.(p.Problem.ncols + i) <- 1.
@@ -793,6 +809,8 @@ let cold_solve acc (p : Problem.t) ~max_iterations =
   | Phase_iterlimit ->
     finish st ~phase1:st.iterations ~warm:false Problem.Iteration_limit
       "iteration-limit (phase 1)"
+  | Phase_deadline ->
+    finish st ~phase1:st.iterations ~warm:false Problem.Deadline_exceeded "deadline (phase 1)"
   | Phase_optimal ->
     let art_sum = ref 0. in
     for i = 0 to st.m - 1 do
@@ -805,15 +823,21 @@ let cold_solve acc (p : Problem.t) ~max_iterations =
       run_phase2 st ~max_iterations ~phase1 ~warm:false
     end
 
-let warm_solve acc (p : Problem.t) b ~max_iterations =
+let warm_solve acc (p : Problem.t) b ~max_iterations ~deadline_at =
   match warm_state acc p b with
   | None -> None
   | Some st -> (
+    st.deadline_at <- deadline_at;
     match restore_feasibility st ~max_iterations with
     | `Iterlimit ->
       Some
         (finish st ~phase1:st.iterations ~warm:true Problem.Iteration_limit
            "iteration-limit (warm restore)")
+    | `Deadline ->
+      (* No wall-clock budget left for a cold fallback either: report. *)
+      Some
+        (finish st ~phase1:st.iterations ~warm:true Problem.Deadline_exceeded
+           "deadline (warm restore)")
     | `Stuck ->
       (* Numerical trouble restoring feasibility: abandon the warm basis. *)
       acc.restarts <- acc.restarts + 1;
@@ -823,16 +847,20 @@ let warm_solve acc (p : Problem.t) b ~max_iterations =
       let phase1 = st.iterations in
       Some (run_phase2 st ~max_iterations ~phase1 ~warm:true))
 
-let solve ?max_iterations ?basis (p : Problem.t) =
+let solve ?max_iterations ?deadline_ms ?basis (p : Problem.t) =
   let acc = fresh_acc () in
   let m = p.Problem.nrows in
   let n = p.Problem.ncols + m in
   let max_iterations =
     match max_iterations with Some k -> k | None -> (20 * (m + n)) + 10_000
   in
+  let deadline_at =
+    match deadline_ms with None -> infinity | Some d -> Clock.now_ms () +. d
+  in
   let warm_result =
     match basis with
-    | Some b when Array.length b = p.Problem.ncols -> warm_solve acc p b ~max_iterations
+    | Some b when Array.length b = p.Problem.ncols ->
+      warm_solve acc p b ~max_iterations ~deadline_at
     | Some _ ->
       (* Dimension mismatch (e.g. presolve kept a different row set). *)
       acc.restarts <- acc.restarts + 1;
@@ -841,4 +869,4 @@ let solve ?max_iterations ?basis (p : Problem.t) =
   in
   match warm_result with
   | Some r -> r
-  | None -> cold_solve acc p ~max_iterations
+  | None -> cold_solve acc p ~max_iterations ~deadline_at

@@ -18,10 +18,19 @@
     cold start, counted in [result.stats.restarts]. *)
 
 val solve :
-  ?max_iterations:int -> ?basis:Problem.basis -> Problem.t -> Problem.result
+  ?max_iterations:int ->
+  ?deadline_ms:float ->
+  ?basis:Problem.basis ->
+  Problem.t ->
+  Problem.result
 (** Solve a problem. [max_iterations] defaults to
-    [20 * (nrows + ncols) + 10_000]. On [Optimal] the returned [x] (one
-    entry per structural and slack column) satisfies all constraints and
-    bounds to working tolerance. [result.basis] is always [Some] and can
-    seed the next [?basis]; [result.stats] carries the instrumentation
-    record ({!Problem.solver_stats}). *)
+    [20 * (nrows + ncols) + 10_000]. [deadline_ms] is a wall-clock budget for
+    this solve: the clock is sampled every few pivots ({!Ffc_util.Clock}) in
+    every phase — warm restore, phase 1 and phase 2 — and expiry yields
+    [Problem.Deadline_exceeded] promptly (within a handful of pivots past the
+    budget) with [stats.status_reason] naming the phase that was cut. A
+    non-positive budget fails before the first pivot. On [Optimal] the
+    returned [x] (one entry per structural and slack column) satisfies all
+    constraints and bounds to working tolerance. [result.basis] is always
+    [Some] and can seed the next [?basis]; [result.stats] carries the
+    instrumentation record ({!Problem.solver_stats}). *)

@@ -21,6 +21,36 @@ let lnet_like topo =
 
 let none = { link_fail_per_interval = 0.; switch_fail_per_interval = 0. }
 
+(* A fibre failure whose links all touch an already-failed switch adds
+   nothing: the switch failure took those links down with it. Left in the
+   timeline it would double-count toward the protection edge in
+   Interval_sim's reaction rule. Walks the (time-sorted) list, dropping
+   [Link_down] faults whose every link has an endpoint at a switch already
+   down at that time. *)
+let dedup topo faults =
+  let endpoints = Hashtbl.create 64 in
+  Array.iter
+    (fun (l : Topology.link) ->
+      Hashtbl.replace endpoints l.Topology.id (l.Topology.src, l.Topology.dst))
+    (Topology.links topo);
+  let down = Hashtbl.create 8 in
+  List.filter
+    (fun f ->
+      match f.kind with
+      | Switch_down v ->
+        Hashtbl.replace down v ();
+        true
+      | Link_down ids ->
+        ids = []
+        || not
+             (List.for_all
+                (fun id ->
+                  match Hashtbl.find_opt endpoints id with
+                  | Some (s, d) -> Hashtbl.mem down s || Hashtbl.mem down d
+                  | None -> false)
+                ids))
+    faults
+
 let sample rng ~interval_s topo t =
   let faults = ref [] in
   List.iter
@@ -33,7 +63,7 @@ let sample rng ~interval_s topo t =
       if Rng.bernoulli rng t.switch_fail_per_interval then
         faults := { time_s = Rng.float rng interval_s; kind = Switch_down v } :: !faults)
     (Topology.switches topo);
-  List.sort (fun a b -> compare a.time_s b.time_s) !faults
+  dedup topo (List.sort (fun a b -> compare a.time_s b.time_s) !faults)
 
 let forced_link_failures rng ~interval_s topo n =
   let all = Array.of_list (fibres topo) in

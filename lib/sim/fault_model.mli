@@ -32,7 +32,13 @@ val fibres : Topology.t -> int list list
     fail together. *)
 
 val sample : Ffc_util.Rng.t -> interval_s:float -> Topology.t -> t -> fault list
-(** Random faults for one interval, sorted by time. *)
+(** Random faults for one interval, sorted by time and {!dedup}ed. *)
+
+val dedup : Topology.t -> fault list -> fault list
+(** Drop [Link_down] faults made redundant by an earlier (or simultaneous)
+    [Switch_down] of one of their endpoints in the same time-sorted list:
+    those fibres are already dead, and counting them again would
+    double-count toward the protection edge. *)
 
 val forced_link_failures : Ffc_util.Rng.t -> interval_s:float -> Topology.t -> int -> fault list
 (** Exactly [n] distinct fibre failures at uniform times (the Figure 1

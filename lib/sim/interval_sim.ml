@@ -13,9 +13,13 @@ type config = {
   update_model : Update_model.t;
   fault_model : Fault_model.t;
   forced_faults : (Rng.t -> int -> Fault_model.fault list) option;
+  deadline_ms : float option;
+  max_iterations : int option;
+  audit_budget : int;
 }
 
-let default_config ~mode ~update_model fault_model =
+let default_config ?deadline_ms ?max_iterations ?(audit_budget = 8) ~mode ~update_model
+    fault_model =
   {
     mode;
     interval_s = 300.;
@@ -25,6 +29,9 @@ let default_config ~mode ~update_model fault_model =
     update_model;
     fault_model;
     forced_faults = None;
+    deadline_ms;
+    max_iterations;
+    audit_budget;
   }
 
 type class_stats = {
@@ -41,6 +48,14 @@ type interval_stats = {
   control_faults : int;
   data_faults : int;
   reacted : bool;
+  solver_fallbacks : int;
+  rung : int;
+  rung_label : string;
+  deadline_hits : int;
+  stale_alloc : bool;
+  audit_cases : int;
+  audit_violations : int;
+  ladder : Controller.attempt list;
 }
 
 let total_lost s =
@@ -50,52 +65,22 @@ let total_lost s =
 
 let total_delivered s = Array.fold_left (fun acc c -> acc +. c.delivered_gb) 0. s.per_class
 
-(* TE target for this interval. On solver trouble we keep the previous
-   allocation (a real controller would too). [bases] caches the simplex
-   bases of the previous interval's LPs: successive intervals re-solve the
-   same formulation with perturbed demands, so warm-starting from the last
-   optimal basis cuts iterations (a stale basis falls back to a cold start
-   inside the solver). *)
-type basis_cache = {
-  mutable basic : Ffc_lp.Problem.basis option;
-  mutable per_class : (int * Ffc_lp.Problem.basis) list;
-}
-
-let compute_target cfg ~bases (input : Te_types.input) ~prev =
-  (* Presolve is off so the LP's column layout is identical interval to
-     interval and the cached bases stay applicable (same optimum either
-     way). *)
-  match cfg.mode with
-  | Reactive -> (
-    match Basic_te.solve_full ~presolve:false ?warm_start:bases.basic input with
-    | Ok (a, basis) ->
-      bases.basic <- basis;
-      a
-    | Error _ -> prev)
-  | Proactive config_of -> (
-    match
-      Priority_te.solve_warm ~config_of ~prev ~presolve:false ~warm_starts:bases.per_class
-        input
-    with
-    | Ok (a, per_class) ->
-      bases.per_class <-
-        List.filter_map (fun (prio, _, b) -> Option.map (fun b -> (prio, b)) b) per_class;
-      a
-    | Error _ -> prev)
-
-(* Protection edges for the proactive reaction rule: react when the
-   cumulative number of data-plane faults reaches the smallest protection
-   level across classes (the controller must restore headroom). *)
-let protection_edge cfg (input : Te_types.input) =
-  match cfg.mode with
-  | Reactive -> (0, 0)
-  | Proactive config_of ->
-    let classes = Priority_te.priorities input in
-    List.fold_left
-      (fun (ke, kv) p ->
-        let prot = (config_of p).Ffc.protection in
-        (min ke prot.Te_types.ke, min kv prot.Te_types.kv))
-      (max_int, max_int) classes
+(* The TE target now always comes from the resilient controller: solver
+   failures descend its degradation ladder (and end, at worst, at the
+   previous allocation rescaled to current demands) instead of being
+   silently swallowed; every fallback is surfaced in [interval_stats]. The
+   controller also carries the per-(rung, class) warm-start basis caches —
+   successive intervals re-solve the same formulation with perturbed
+   demands, so warm-starting from the last optimal basis cuts iterations. *)
+let controller cfg seed =
+  let mode =
+    match cfg.mode with
+    | Reactive -> Controller.Basic
+    | Proactive config_of -> Controller.Ffc_ladder config_of
+  in
+  Controller.create
+    (Controller.config ?deadline_ms:cfg.deadline_ms ?max_iterations:cfg.max_iterations
+       ~audit_budget:cfg.audit_budget ~audit_seed:seed mode)
 
 let reaction_delay rng cfg n_switches =
   let worst = ref 0. in
@@ -113,6 +98,7 @@ let run ~rng cfg (input : Te_types.input) ~demand_series =
      changes how many update/reaction samples are drawn). *)
   let fault_rng = Rng.split rng in
   let update_rng = Rng.split rng in
+  let audit_rng = Rng.split rng in
   let nflows = Array.length input.Te_types.demands in
   let nclasses = Loss.num_classes input in
   let ingresses =
@@ -120,7 +106,7 @@ let run ~rng cfg (input : Te_types.input) ~demand_series =
   in
   let backlog = Array.make nflows 0. in
   let installed = ref (Te_types.zero_allocation input) in
-  let bases = { basic = None; per_class = [] } in
+  let ctrl = controller cfg (Rng.int audit_rng 0x3FFFFFFF) in
   let results = ref [] in
   Array.iteri
     (fun interval_idx base_demands ->
@@ -128,7 +114,8 @@ let run ~rng cfg (input : Te_types.input) ~demand_series =
         Array.init nflows (fun f -> base_demands.(f) +. (backlog.(f) /. cfg.interval_s))
       in
       let input_t = { input with Te_types.demands } in
-      let target = compute_target cfg ~bases input_t ~prev:!installed in
+      let step = Controller.step ctrl input_t ~prev:!installed in
+      let target = step.Controller.alloc in
       (* --- push the update; some ingresses may be stuck with old config --- *)
       let changed v =
         List.exists
@@ -169,7 +156,10 @@ let run ~rng cfg (input : Te_types.input) ~demand_series =
       let lost_blackhole = Array.make nclasses 0. in
       let max_oversub = ref 0. in
       let reacted = ref false in
-      let edge_ke, edge_kv = protection_edge cfg input in
+      (* Reaction rule uses the protection the controller actually delivered
+         this interval (a degraded rung weakens the edge), not the requested
+         configuration. *)
+      let edge_ke, edge_kv = Controller.step_edge step in
       let cum_link_faults = ref 0 and cum_switch_faults = ref 0 in
       (* Time at which the controller's corrective update lands (congestion
          assumed cleared from then until the next fault). *)
@@ -293,6 +283,11 @@ let run ~rng cfg (input : Te_types.input) ~demand_series =
       (* Stuck switches are retried within the interval; assume the target
          is fully installed by the next interval. *)
       installed := target;
+      let audit_cases, audit_violations =
+        match step.Controller.audit with
+        | Some a -> (a.Controller.audit_cases, a.Controller.audit_violations)
+        | None -> (0, 0)
+      in
       results :=
         {
           per_class;
@@ -300,6 +295,14 @@ let run ~rng cfg (input : Te_types.input) ~demand_series =
           control_faults = List.length stuck;
           data_faults = List.length faults;
           reacted = !reacted;
+          solver_fallbacks = step.Controller.fallbacks;
+          rung = step.Controller.rung;
+          rung_label = step.Controller.label;
+          deadline_hits = step.Controller.deadline_hits;
+          stale_alloc = step.Controller.stale;
+          audit_cases;
+          audit_violations;
+          ladder = step.Controller.attempts;
         }
         :: !results)
     demand_series;

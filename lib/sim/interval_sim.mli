@@ -34,10 +34,24 @@ type config = {
   forced_faults : (Ffc_util.Rng.t -> int -> Fault_model.fault list) option;
       (** overrides random sampling (Figure 1 experiments); called with the
           interval index *)
+  deadline_ms : float option;
+      (** wall-clock budget per controller ladder attempt (see
+          {!Ffc_core.Controller}); [None] = unbounded *)
+  max_iterations : int option;  (** simplex pivot cap per LP; [None] = unbounded *)
+  audit_budget : int;
+      (** sampled guarantee-audit cases per accepted solve; [0] disables *)
 }
 
-val default_config : mode:mode -> update_model:Update_model.t -> Fault_model.t -> config
-(** 300 s intervals, 5 ms detection, 50 ms notification, 500 ms compute. *)
+val default_config :
+  ?deadline_ms:float ->
+  ?max_iterations:int ->
+  ?audit_budget:int ->
+  mode:mode ->
+  update_model:Update_model.t ->
+  Fault_model.t ->
+  config
+(** 300 s intervals, 5 ms detection, 50 ms notification, 500 ms compute, no
+    solve deadline, audit budget 8. *)
 
 type class_stats = {
   offered_gb : float;  (** demand x interval, gigabits *)
@@ -53,6 +67,18 @@ type interval_stats = {
   control_faults : int;
   data_faults : int;
   reacted : bool;
+  solver_fallbacks : int;
+      (** failed ladder attempts before this interval's target was accepted *)
+  rung : int;  (** degradation-ladder rung accepted (0 = full protection) *)
+  rung_label : string;  (** e.g. ["full"], ["reduced-2"], ["last-good"] *)
+  deadline_hits : int;  (** attempts killed by the wall-clock deadline *)
+  stale_alloc : bool;
+      (** [true] iff the interval ran on the previous allocation rescaled to
+          current demands (the ladder's last rung) — never silently *)
+  audit_cases : int;  (** sampled guarantee checks run on the accepted solve *)
+  audit_violations : int;  (** checks that failed (should be zero) *)
+  ladder : Ffc_core.Controller.attempt list;
+      (** full per-attempt telemetry, chronological *)
 }
 
 val total_lost : interval_stats -> float

@@ -5,7 +5,10 @@ module Rng = Ffc_util.Rng
 type t = { name : string; input : Te_types.input; spec : Traffic.spec }
 
 (* Largest uniform demand scale at which basic TE satisfies [target]
-   (99%) of total demand: bisection on the (monotone) satisfaction ratio. *)
+   (99%) of total demand: bisection on the (monotone) satisfaction ratio.
+   Returns the scale together with the satisfaction ratio achieved there, so
+   callers can tell a calibrated scenario from one where even the smallest
+   scale in range cannot reach the target (the ratio then sits below it). *)
 let calibrate ?(target = 0.99) (input : Te_types.input) =
   let satisfied scale =
     let demands = Traffic.scale scale input.Te_types.demands in
@@ -16,20 +19,29 @@ let calibrate ?(target = 0.99) (input : Te_types.input) =
     | Error _ -> 0.
   in
   let lo = ref 0.05 and hi = ref 50. in
-  if satisfied !lo < target then !lo
+  let at_lo = satisfied !lo in
+  if at_lo < target then (!lo, at_lo)
   else begin
     for _ = 1 to 22 do
       let mid = sqrt (!lo *. !hi) in
       if satisfied mid >= target then lo := mid else hi := mid
     done;
-    !lo
+    (!lo, satisfied !lo)
   end
+
+let calibration_target = 0.99
 
 let build name topo spec =
   let input =
     { Te_types.topo; flows = spec.Traffic.flows; demands = spec.Traffic.base_demand }
   in
-  let k = calibrate input in
+  let k, achieved = calibrate ~target:calibration_target input in
+  if achieved < calibration_target then
+    Printf.eprintf
+      "[scenario %s] calibration failed: basic TE satisfies only %.1f%% of demand at the \
+       minimum scale %.3f (target %.0f%%); scenario is uncalibrated\n\
+       %!"
+      name (100. *. achieved) k (100. *. calibration_target);
   let demands = Traffic.scale k input.Te_types.demands in
   let spec = { spec with Traffic.base_demand = demands } in
   { name; input = { input with Te_types.demands }; spec }

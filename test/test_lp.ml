@@ -45,6 +45,7 @@ let solve_opt ?backend m =
   | Model.Infeasible -> Alcotest.fail "unexpected infeasible"
   | Model.Unbounded -> Alcotest.fail "unexpected unbounded"
   | Model.Iteration_limit -> Alcotest.fail "iteration limit"
+  | Model.Deadline_exceeded -> Alcotest.fail "unexpected deadline"
 
 let test_basic_max backend () =
   (* max x + y st x + 2y <= 4, 3x + y <= 6 -> x = 8/5, y = 6/5, obj 14/5 *)
@@ -219,6 +220,7 @@ let status_name = function
   | Model.Infeasible -> "infeasible"
   | Model.Unbounded -> "unbounded"
   | Model.Iteration_limit -> "iterlimit"
+  | Model.Deadline_exceeded -> "deadline"
 
 let lp_arbitrary = QCheck.make ~print:(fun _ -> "<lp spec>") random_lp_gen
 
@@ -230,6 +232,7 @@ let prop_backends_agree =
       let r2 = Model.solve ~backend:`Dense_tableau m in
       match (r1, r2) with
       | Model.Iteration_limit, _ | _, Model.Iteration_limit -> QCheck.assume_fail ()
+      | Model.Deadline_exceeded, _ | _, Model.Deadline_exceeded -> QCheck.assume_fail ()
       | Model.Optimal s1, Model.Optimal s2 ->
         abs_float (Model.objective_value s1 -. Model.objective_value s2) < 1e-5
       | Model.Infeasible, Model.Infeasible | Model.Unbounded, Model.Unbounded -> true
@@ -315,6 +318,7 @@ let prop_presolve_preserves_solutions =
       let without_p = Model.solve ~presolve:false m in
       match (with_p, without_p) with
       | Model.Iteration_limit, _ | _, Model.Iteration_limit -> QCheck.assume_fail ()
+      | Model.Deadline_exceeded, _ | _, Model.Deadline_exceeded -> QCheck.assume_fail ()
       | Model.Optimal a, Model.Optimal b ->
         abs_float (Model.objective_value a -. Model.objective_value b) < 1e-5
       | Model.Infeasible, Model.Infeasible | Model.Unbounded, Model.Unbounded -> true
@@ -346,6 +350,7 @@ let prop_backends_agree_larger =
       let m, _ = build_random_lp spec in
       match (Model.solve ~backend:`Revised m, Model.solve ~backend:`Dense_tableau m) with
       | Model.Iteration_limit, _ | _, Model.Iteration_limit -> QCheck.assume_fail ()
+      | Model.Deadline_exceeded, _ | _, Model.Deadline_exceeded -> QCheck.assume_fail ()
       | Model.Optimal s1, Model.Optimal s2 ->
         abs_float (Model.objective_value s1 -. Model.objective_value s2) < 1e-4
       | Model.Infeasible, Model.Infeasible | Model.Unbounded, Model.Unbounded -> true
@@ -373,7 +378,7 @@ let prop_warm_agrees =
     lp_arbitrary (fun spec ->
       let m0, _ = build_random_lp spec in
       match Model.solve ~backend:`Revised ~presolve:false m0 with
-      | Model.Iteration_limit -> QCheck.assume_fail ()
+      | Model.Iteration_limit | Model.Deadline_exceeded -> QCheck.assume_fail ()
       | Model.Infeasible | Model.Unbounded -> true
       | Model.Optimal s0 -> (
         match Model.solution_basis s0 with
@@ -388,7 +393,9 @@ let prop_warm_agrees =
           let oracle = Model.solve ~backend:`Dense_tableau ~presolve:false oracle_m in
           match (cold, warm, oracle) with
           | Model.Iteration_limit, _, _ | _, Model.Iteration_limit, _ | _, _, Model.Iteration_limit
-            ->
+          | Model.Deadline_exceeded, _, _
+          | _, Model.Deadline_exceeded, _
+          | _, _, Model.Deadline_exceeded ->
             QCheck.assume_fail ()
           | Model.Optimal a, Model.Optimal b, Model.Optimal c ->
             abs_float (Model.objective_value a -. Model.objective_value b) < 1e-5
