@@ -95,7 +95,8 @@ let solve_cmd network seed scale kc ke kv encoding objective =
 (* simulate                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let simulate_cmd network seed scale mode intervals model kc ke kv deadline_ms audit_budget =
+let simulate_cmd network seed scale mode intervals model kc ke kv deadline_ms audit_budget
+    retries retry_timeout retry_backoff =
   let sc = scenario_of_name network seed in
   let input = sc.Sim.Scenario.input in
   let um =
@@ -105,26 +106,45 @@ let simulate_cmd network seed scale mode intervals model kc ke kv deadline_ms au
     match mode with
     | "reactive" -> Sim.Interval_sim.Reactive
     | "ffc" ->
+      (* Exact formulation (no mice/ingress-skip shortcuts) so the live
+         kc-guarantee checker's verdict reflects the real contract. *)
       Sim.Interval_sim.Proactive
         (fun _ ->
-          Ffc.config ~protection:(Te_types.protection ~kc ~ke ~kv ()) ~encoding:`Duality ())
+          Ffc.config
+            ~protection:(Te_types.protection ~kc ~ke ~kv ())
+            ~encoding:`Duality ~mice_fraction:0. ~ingress_skip_fraction:0. ())
     | other -> failwith (Printf.sprintf "unknown mode %S (reactive or ffc)" other)
   in
   let fm = Sim.Fault_model.lnet_like input.Te_types.topo in
+  let retry =
+    Sim.Southbound.retry_policy ~max_attempts:retries ~attempt_timeout_s:retry_timeout
+      ~backoff_base_s:retry_backoff ()
+  in
   let cfg =
-    Sim.Interval_sim.default_config ?deadline_ms ~audit_budget ~mode ~update_model:um fm
+    Sim.Interval_sim.default_config ?deadline_ms ~audit_budget ~retry ~mode
+      ~update_model:um fm
   in
   let series = Sim.Scenario.demand_series (Rng.create (seed + 1)) sc ~scale ~intervals in
   let stats = Sim.Interval_sim.run ~rng:(Rng.create (seed + 2)) cfg input ~demand_series:series in
+  let verdict_label s =
+    let tag =
+      match s.Sim.Interval_sim.kc_verdict with
+      | Sim.Southbound.Ok_checked -> Printf.sprintf "ok@%d" s.Sim.Interval_sim.kc_checked
+      | Sim.Southbound.Beyond_budget _ -> "beyond"
+      | Sim.Southbound.Violation _ -> "VIOLATION"
+    in
+    if s.Sim.Interval_sim.escalated then tag ^ "!" else tag
+  in
   let t =
     Table.create
       [
         "interval"; "delivered (Gb)"; "lost (Gb)"; "max oversub (%)"; "data faults";
-        "ctrl faults"; "rung"; "fallbacks"; "audit";
+        "stale"; "retries"; "kc check"; "rung"; "fallbacks"; "audit";
       ]
   in
   List.iteri
     (fun i s ->
+      let sb = s.Sim.Interval_sim.southbound in
       Table.add_row t
         [
           string_of_int i;
@@ -132,7 +152,10 @@ let simulate_cmd network seed scale mode intervals model kc ke kv deadline_ms au
           Printf.sprintf "%.3f" (Sim.Interval_sim.total_lost s);
           Printf.sprintf "%.1f" s.Sim.Interval_sim.max_oversub_pct;
           string_of_int s.Sim.Interval_sim.data_faults;
-          string_of_int s.Sim.Interval_sim.control_faults;
+          string_of_int (List.length sb.Sim.Southbound.stale);
+          Printf.sprintf "%d/%d" sb.Sim.Southbound.retry_successes
+            sb.Sim.Southbound.retries;
+          verdict_label s;
           s.Sim.Interval_sim.rung_label;
           string_of_int s.Sim.Interval_sim.solver_fallbacks;
           Printf.sprintf "%d/%d" s.Sim.Interval_sim.audit_violations
@@ -151,7 +174,22 @@ let simulate_cmd network seed scale mode intervals model kc ke kv deadline_ms au
     (sum (fun s -> s.Sim.Interval_sim.deadline_hits))
     (sum (fun s -> if s.Sim.Interval_sim.stale_alloc then 1 else 0))
     (sum (fun s -> s.Sim.Interval_sim.audit_violations))
-    (sum (fun s -> s.Sim.Interval_sim.audit_cases))
+    (sum (fun s -> s.Sim.Interval_sim.audit_cases));
+  Printf.printf
+    "southbound: %d pushes, %d attempts, %d retries (%d eventually applied), %d failures, \
+     %d timeouts, %d outages, %d escalated intervals, %d kc-guarantee violations\n"
+    (sum (fun s -> s.Sim.Interval_sim.southbound.Sim.Southbound.pushed))
+    (sum (fun s -> s.Sim.Interval_sim.southbound.Sim.Southbound.attempts))
+    (sum (fun s -> s.Sim.Interval_sim.southbound.Sim.Southbound.retries))
+    (sum (fun s -> s.Sim.Interval_sim.southbound.Sim.Southbound.retry_successes))
+    (sum (fun s -> s.Sim.Interval_sim.southbound.Sim.Southbound.failures))
+    (sum (fun s -> s.Sim.Interval_sim.southbound.Sim.Southbound.timeouts))
+    (sum (fun s -> s.Sim.Interval_sim.southbound.Sim.Southbound.outages_started))
+    (sum (fun s -> if s.Sim.Interval_sim.escalated then 1 else 0))
+    (sum (fun s ->
+         match s.Sim.Interval_sim.kc_verdict with
+         | Sim.Southbound.Violation _ -> 1
+         | _ -> 0))
 
 (* ------------------------------------------------------------------ *)
 (* plan (capacity planning, §3.3)                                      *)
@@ -273,10 +311,26 @@ let audit_budget =
     & info [ "audit-budget" ]
         ~doc:"Sampled guarantee-audit cases per accepted solve (0 disables)")
 
+let retries =
+  Arg.(
+    value & opt int 6
+    & info [ "retries" ] ~doc:"Max southbound push attempts per switch per interval")
+
+let retry_timeout =
+  Arg.(
+    value & opt float 10.
+    & info [ "retry-timeout" ] ~doc:"Per-attempt straggler timeout (seconds)")
+
+let retry_backoff =
+  Arg.(
+    value & opt float 1.
+    & info [ "retry-backoff" ]
+        ~doc:"Base backoff between attempts (seconds; doubles per retry, jittered)")
+
 let simulate_t =
   Term.(
     const simulate_cmd $ network $ seed $ scale $ mode $ intervals $ model $ kc_sim $ ke_sim
-    $ kv_sim $ deadline_ms $ audit_budget)
+    $ kv_sim $ deadline_ms $ audit_budget $ retries $ retry_timeout $ retry_backoff)
 
 let plan_t = Term.(const plan_cmd $ network $ seed $ scale $ kc $ ke $ kv)
 

@@ -60,10 +60,11 @@ let () =
       { Sim.Update_sim.steps = 2; switches_per_step = 10; kc; update_model = um; max_time_s = 300. }
       ~count:500
   in
-  let report name ts =
+  let report name cs =
+    let ts = Sim.Update_sim.censored_times ~max_time_s:300. cs in
     Printf.printf "%s: median %.1f s, p99 %.1f s, stalled %.1f%%\n" name
       (Stats.percentile 50. ts) (Stats.percentile 99. ts)
-      (100. *. Stats.fraction_above 299. ts)
+      (100. *. Sim.Update_sim.stalled_fraction cs)
   in
   report "update completion without FFC" (times 0);
   report "update completion with FFC kc=2" (times 2)

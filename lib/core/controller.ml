@@ -50,6 +50,7 @@ type step = {
   fallbacks : int;
   deadline_hits : int;
   stale : bool;
+  escalated : bool;
   effective : (int -> Te_types.protection) option;
   per_class_stats : (int * Ffc.stats) list;
   audit : audit_report option;
@@ -131,12 +132,23 @@ let ladder t (input : Te_types.input) =
     let reduced = List.init (max 0 (max_total - 1)) (fun i -> Reduced (i + 1)) in
     (Full_protection :: reduced) @ [ Basic_te; Last_good ]
 
-let protections_at t (input : Te_types.input) kind =
+(* Staleness escalation: when the southbound layer reports more stale
+   ingresses than the configured kc covers, raise kc to the observed stale
+   count for every class that asked for control-plane protection at all, so
+   the next target is provably safe against the switches that are actually
+   stuck. Classes with kc = 0 opted out of control-plane protection and are
+   left alone; since [max _ stale] is monotone, the componentwise
+   non-increasing-with-priority invariant survives. *)
+let escalate_protection ~stale ~max_kc (p : Te_types.protection) =
+  if stale <= 0 || p.Te_types.kc = 0 then p
+  else { p with Te_types.kc = min max_kc (max p.Te_types.kc stale) }
+
+let protections_at t (input : Te_types.input) ~boost kind =
   match (t.cfg.mode, kind) with
   | Ffc_ladder config_of, (Full_protection | Reduced _) ->
     let s = match kind with Reduced s -> s | _ -> 0 in
     List.map
-      (fun p -> (p, degrade s (config_of p).Ffc.protection))
+      (fun p -> (p, boost (degrade s (config_of p).Ffc.protection)))
       (Priority_te.priorities input)
   | _ -> []
 
@@ -281,7 +293,7 @@ type attempt_result =
   | Accepted of Te_types.allocation * (int * Ffc.stats) list
   | Failed of Te_types.solve_failure
 
-let try_rung t (input : Te_types.input) ~prev ~rung kind =
+let try_rung t (input : Te_types.input) ~prev ~rung ~boost ~use_bases kind =
   match kind with
   | Last_good -> Accepted (rescale_last_good input prev, [])
   | Basic_te -> (
@@ -303,12 +315,17 @@ let try_rung t (input : Te_types.input) ~prev ~rung kind =
     let s = match kind with Reduced s -> s | _ -> 0 in
     let config_of' prio =
       let c = config_of prio in
-      { c with Ffc.protection = degrade s c.Ffc.protection }
+      { c with Ffc.protection = boost (degrade s c.Ffc.protection) }
     in
+    (* Escalated steps solve a differently-shaped LP (kc resizes the
+       sorting-network encoding), so the cached bases neither apply nor get
+       refreshed — the cache stays valid for the next normal step. *)
     let warm_starts =
-      List.filter_map
-        (fun prio -> Option.map (fun b -> (prio, b)) (get_basis t ~rung ~cls:prio))
-        (Priority_te.priorities input)
+      if not use_bases then []
+      else
+        List.filter_map
+          (fun prio -> Option.map (fun b -> (prio, b)) (get_basis t ~rung ~cls:prio))
+          (Priority_te.priorities input)
     in
     match
       Priority_te.solve_warm_checked ~config_of:config_of' ~prev
@@ -316,20 +333,43 @@ let try_rung t (input : Te_types.input) ~prev ~rung kind =
         ?deadline_ms:t.cfg.deadline_ms ~warm_starts input
     with
     | Ok (alloc, per_class) ->
-      List.iter (fun (prio, _, basis) -> set_basis t ~rung ~cls:prio basis) per_class;
+      if use_bases then
+        List.iter (fun (prio, _, basis) -> set_basis t ~rung ~cls:prio basis) per_class;
       Accepted (alloc, List.map (fun (prio, st, _) -> (prio, st)) per_class)
     | Error (_prio, f) -> Failed f)
 
-let step t (input : Te_types.input) ~(prev : Te_types.allocation) =
+let step t ?(stale = 0) (input : Te_types.input) ~(prev : Te_types.allocation) =
   let rungs = ladder t input in
+  (* The step escalates when the reported stale-ingress count exceeds what
+     the weakest kc-protected class is configured to tolerate. *)
+  let configured_min_kc =
+    match t.cfg.mode with
+    | Basic -> 0
+    | Ffc_ladder config_of ->
+      let m =
+        List.fold_left
+          (fun acc p ->
+            let kc = (config_of p).Ffc.protection.Te_types.kc in
+            if kc > 0 then min acc kc else acc)
+          max_int (Priority_te.priorities input)
+      in
+      if m = max_int then 0 else m
+  in
+  let escalated = configured_min_kc > 0 && stale > configured_min_kc in
+  let boost =
+    if escalated then
+      let max_kc = List.length (Enumerate.control_fault_universe input) in
+      escalate_protection ~stale ~max_kc
+    else fun p -> p
+  in
   let attempts = ref [] in
   let deadline_hits = ref 0 in
   let rec descend rung = function
     | [] -> invalid_arg "Controller.step: ladder exhausted (missing last-good rung)"
     | kind :: rest -> (
-      let protections = protections_at t input kind in
+      let protections = protections_at t input ~boost kind in
       let t0 = Clock.now_ms () in
-      let result = try_rung t input ~prev ~rung kind in
+      let result = try_rung t input ~prev ~rung ~boost ~use_bases:(not escalated) kind in
       let solve_ms = Clock.since_ms t0 in
       let outcome =
         match result with Accepted _ -> Ok () | Failed f -> Error f
@@ -364,6 +404,7 @@ let step t (input : Te_types.input) ~(prev : Te_types.allocation) =
           fallbacks;
           deadline_hits = !deadline_hits;
           stale;
+          escalated;
           effective;
           per_class_stats;
           audit;
@@ -385,3 +426,15 @@ let step_edge step =
       (fun (ke, kv) (_, (p : Te_types.protection)) ->
         (min ke p.Te_types.ke, min kv p.Te_types.kv))
       (max_int, max_int) l
+
+(* Control-plane edge: the number of stale ingresses the accepted allocation
+   provably tolerates network-wide (minimum kc across classes — a class at
+   kc = 0 caps the whole network's configuration-fault guarantee). *)
+let step_kc step =
+  let accepted_protections =
+    match List.rev step.attempts with a :: _ -> a.protections | [] -> []
+  in
+  match (step.effective, accepted_protections) with
+  | None, _ | _, [] -> 0
+  | Some _, l ->
+    List.fold_left (fun kc (_, (p : Te_types.protection)) -> min kc p.Te_types.kc) max_int l

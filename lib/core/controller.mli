@@ -85,6 +85,9 @@ type step = {
   fallbacks : int;  (** failed attempts before acceptance *)
   deadline_hits : int;  (** attempts that died on the wall-clock deadline *)
   stale : bool;  (** [true] iff the last-good rung was used *)
+  escalated : bool;
+      (** [true] iff the reported stale-ingress count exceeded the configured
+          kc and the step was solved at a raised kc (see {!step}) *)
   effective : (int -> Te_types.protection) option;
       (** per-class protection actually guaranteed; [None] when the accepted
           rung carries no fault guarantee (basic TE / last-good) *)
@@ -99,18 +102,37 @@ type t
 
 val create : config -> t
 
-val step : t -> Te_types.input -> prev:Te_types.allocation -> step
+val step : t -> ?stale:int -> Te_types.input -> prev:Te_types.allocation -> step
 (** Compute this interval's target allocation, descending the ladder until a
     rung succeeds. [prev] is the currently-installed allocation (used for
     control-plane constraints, warm context and the last-good rung; pass
-    {!Te_types.zero_allocation} initially). Never raises on solver failure —
-    the last-good rung always succeeds. *)
+    {!Te_types.zero_allocation} initially). With a southbound engine in the
+    loop, [prev] should be the {e mixed} installed allocation (each flow's
+    row taken from the allocation its ingress switch actually runs) so the
+    control-plane constraints protect against real running configurations.
+
+    [stale] (default 0) is the number of ingress switches currently running
+    an old configuration, as reported by the southbound engine. When it
+    exceeds the weakest configured kc (over classes with [kc > 0]), the step
+    {e escalates}: every kc-protected class is solved at
+    [kc = max configured (min stale #ingresses)], so the new target is
+    provably safe against the switches that are actually stuck; the step is
+    marked [escalated] and skips warm-start basis reuse (the escalated LP
+    has a different shape). Never raises on solver failure — the last-good
+    rung always succeeds. *)
 
 val step_edge : step -> int * int
 (** [(ke, kv)] protection edge actually guaranteed by an accepted step (the
     minimum across classes of the {e effective} protection); [(0, 0)] for
     basic TE and last-good. The reaction rule must use this, not the
     requested protection. *)
+
+val step_kc : step -> int
+(** Control-plane protection edge actually guaranteed by an accepted step:
+    the minimum [kc] across classes of the effective protection (so a class
+    at [kc = 0] caps it at [0]); [0] for basic TE and last-good. The
+    southbound kc-guarantee checker must assert at this level, not the
+    requested one. *)
 
 val degrade_once : Te_types.protection -> Te_types.protection
 (** One ladder step: decrement [ke], else [kv], else [kc]; identity at zero

@@ -3,7 +3,7 @@ open Ffc_net
 type rates = { tunnel_rates : float array array; undeliverable : float array }
 
 let rescale (input : Te_types.input) (alloc : Te_types.allocation)
-    ?(stuck = fun _ -> false) ?old_alloc ~failed_links ~failed_switches () =
+    ?(stuck = fun _ -> false) ?old_alloc ?old_alloc_of ~failed_links ~failed_switches () =
   let n = Array.length input.Te_types.demands in
   let tunnel_rates = Array.make n [||] in
   let undeliverable = Array.make n 0. in
@@ -19,9 +19,14 @@ let rescale (input : Te_types.input) (alloc : Te_types.allocation)
         else begin
           let weights =
             if stuck f.Flow.src then
-              match old_alloc with
-              | Some old -> Te_types.weights old id
-              | None -> invalid_arg "Rescale.rescale: stuck ingress requires old_alloc"
+              (* Multi-epoch staleness: a per-switch lookup (the southbound
+                 engine's installed view) wins over the single shared
+                 old allocation. *)
+              match (old_alloc_of, old_alloc) with
+              | Some of_switch, _ -> Te_types.weights (of_switch f.Flow.src) id
+              | None, Some old -> Te_types.weights old id
+              | None, None ->
+                invalid_arg "Rescale.rescale: stuck ingress requires old_alloc"
             else Te_types.weights alloc id
           in
           let alive =

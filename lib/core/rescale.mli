@@ -17,6 +17,7 @@ val rescale :
   Te_types.allocation ->
   ?stuck:(Topology.switch -> bool) ->
   ?old_alloc:Te_types.allocation ->
+  ?old_alloc_of:(Topology.switch -> Te_types.allocation) ->
   failed_links:(int -> bool) ->
   failed_switches:(Topology.switch -> bool) ->
   unit ->
@@ -24,7 +25,9 @@ val rescale :
 (** Traffic actually emitted per tunnel: each flow sends [b_f] split over
     its residual tunnels proportionally to its installed weights. Installed
     weights are the new allocation's, except at [stuck] ingresses where the
-    [old_alloc]'s weights apply (both default to "none"). Flows whose
+    [old_alloc]'s weights apply (both default to "none"); when a stale
+    ingress may lag more than one configuration epoch, [old_alloc_of] gives
+    the per-switch installed allocation and takes precedence. Flows whose
     ingress/egress switch failed send nothing (counted undeliverable, since
     the source is gone this is excluded from loss accounting by callers that
     follow the paper). *)

@@ -43,3 +43,13 @@ val transition_safe :
   Te_types.input -> Te_types.allocation -> Te_types.allocation -> bool
 (** Check Eqn 16 for one transition: for every link, the sum over ingresses
     of the max of the two configurations' loads is within capacity. *)
+
+val ingress_loads :
+  Formulation.crossing list array ->
+  Te_types.allocation ->
+  (Ffc_net.Topology.switch * float) list array
+(** Per-link, per-ingress load of a concrete allocation: for each link (by
+    id), the list of (ingress switch, load it imposes on the link). Takes
+    {!Formulation.crossings_by_link} output so callers can amortise the
+    crossing computation across allocations. Used by the southbound
+    kc-guarantee checker to account mixed-epoch link loads exactly. *)

@@ -16,10 +16,11 @@ type config = {
   deadline_ms : float option;
   max_iterations : int option;
   audit_budget : int;
+  retry : Southbound.retry_policy;
 }
 
-let default_config ?deadline_ms ?max_iterations ?(audit_budget = 8) ~mode ~update_model
-    fault_model =
+let default_config ?deadline_ms ?max_iterations ?(audit_budget = 8)
+    ?(retry = Southbound.default_retry) ~mode ~update_model fault_model =
   {
     mode;
     interval_s = 300.;
@@ -32,6 +33,7 @@ let default_config ?deadline_ms ?max_iterations ?(audit_budget = 8) ~mode ~updat
     deadline_ms;
     max_iterations;
     audit_budget;
+    retry;
   }
 
 type class_stats = {
@@ -56,6 +58,10 @@ type interval_stats = {
   audit_cases : int;
   audit_violations : int;
   ladder : Controller.attempt list;
+  southbound : Southbound.report;
+  kc_verdict : Southbound.verdict;
+  kc_checked : int;
+  escalated : bool;
 }
 
 let total_lost s =
@@ -105,8 +111,13 @@ let run ~rng cfg (input : Te_types.input) ~demand_series =
     List.sort_uniq compare (List.map (fun (f : Flow.t) -> f.Flow.src) input.Te_types.flows)
   in
   let backlog = Array.make nflows 0. in
-  let installed = ref (Te_types.zero_allocation input) in
   let ctrl = controller cfg (Rng.int audit_rng 0x3FFFFFFF) in
+  (* The southbound engine replaces the old fire-and-forget push: it owns
+     the per-switch installed state (epochs, outages) across intervals. *)
+  let engine = Southbound.create ~retry:cfg.retry cfg.update_model input in
+  (* Per-flow sending rates the host rate limiters currently enforce (they
+     always update, even when a switch's splits do not — §2.2). *)
+  let enforced_bf = ref (Array.make nflows 0.) in
   let results = ref [] in
   Array.iteri
     (fun interval_idx base_demands ->
@@ -114,28 +125,34 @@ let run ~rng cfg (input : Te_types.input) ~demand_series =
         Array.init nflows (fun f -> base_demands.(f) +. (backlog.(f) /. cfg.interval_s))
       in
       let input_t = { input with Te_types.demands } in
-      let step = Controller.step ctrl input_t ~prev:!installed in
+      (* Staleness feedback: the controller solves against what the network
+         actually imposes (enforced rates split by installed weights), and
+         escalates kc when more ingresses are stale than the configured
+         protection covers. *)
+      let stale_before = List.length (Southbound.stale_switches engine) in
+      let mixed_prev = Southbound.imposed_mix engine input_t ~rates:!enforced_bf in
+      (* Links the previous state already overloaded get unprotected moves
+         from the formulation (§4.5); the live checker must skip exactly
+         those. *)
+      let prev_loads = Te_types.link_loads input_t mixed_prev in
+      let grandfathered =
+        let links = Topology.links input.Te_types.topo in
+        fun lid -> prev_loads.(lid) > (links.(lid)).Topology.capacity +. 1e-6
+      in
+      let step = Controller.step ctrl ~stale:stale_before input_t ~prev:mixed_prev in
       let target = step.Controller.alloc in
-      (* --- push the update; some ingresses may be stuck with old config --- *)
-      let changed v =
-        List.exists
-          (fun (f : Flow.t) ->
-            f.Flow.src = v
-            &&
-            let w_new = Te_types.weights target f.Flow.id in
-            let w_old = Te_types.weights !installed f.Flow.id in
-            Array.exists2 (fun a b -> abs_float (a -. b) > 1e-6) w_new w_old)
-          input.Te_types.flows
+      (* --- push the update through the retrying southbound engine --- *)
+      let sb =
+        Southbound.push engine update_rng input_t ~target ~interval_s:cfg.interval_s
       in
-      let stuck =
-        List.filter
-          (fun v ->
-            changed v
-            && Rng.bernoulli update_rng cfg.update_model.Update_model.config_fail_prob)
-          ingresses
+      enforced_bf := target.Te_types.bf;
+      let stuck_set v = List.mem v sb.Southbound.stale in
+      (* Live configuration-fault guarantee check at the protection level the
+         controller actually delivered this interval. *)
+      let kc_checked = Controller.step_kc step in
+      let kc_verdict =
+        Southbound.check_guarantee engine ~grandfathered input_t ~target ~kc:kc_checked
       in
-      let stuck_set v = List.mem v stuck in
-      let old_pseudo = !installed in
       (* --- data-plane faults for this interval --- *)
       let faults =
         match cfg.forced_faults with
@@ -148,7 +165,8 @@ let run ~rng cfg (input : Te_types.input) ~demand_series =
       let is_failed_link l = Hashtbl.mem failed_links l in
       let is_failed_switch v = Hashtbl.mem failed_switches v in
       let current_rates () =
-        Rescale.rescale input_t target ~stuck:stuck_set ~old_alloc:old_pseudo
+        Rescale.rescale input_t target ~stuck:stuck_set
+          ~old_alloc_of:(Southbound.running engine)
           ~failed_links:is_failed_link ~failed_switches:is_failed_switch ()
       in
       (* --- timeline --- *)
@@ -280,9 +298,6 @@ let run ~rng cfg (input : Te_types.input) ~demand_series =
         (fun f d ->
           backlog.(f) <- max 0. ((d -. target.Te_types.bf.(f)) *. cfg.interval_s))
         demands;
-      (* Stuck switches are retried within the interval; assume the target
-         is fully installed by the next interval. *)
-      installed := target;
       let audit_cases, audit_violations =
         match step.Controller.audit with
         | Some a -> (a.Controller.audit_cases, a.Controller.audit_violations)
@@ -292,7 +307,7 @@ let run ~rng cfg (input : Te_types.input) ~demand_series =
         {
           per_class;
           max_oversub_pct = !max_oversub;
-          control_faults = List.length stuck;
+          control_faults = List.length sb.Southbound.stale;
           data_faults = List.length faults;
           reacted = !reacted;
           solver_fallbacks = step.Controller.fallbacks;
@@ -303,6 +318,10 @@ let run ~rng cfg (input : Te_types.input) ~demand_series =
           audit_cases;
           audit_violations;
           ladder = step.Controller.attempts;
+          southbound = sb;
+          kc_verdict;
+          kc_checked;
+          escalated = step.Controller.escalated;
         }
         :: !results)
     demand_series;

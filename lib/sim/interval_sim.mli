@@ -1,10 +1,12 @@
 (** The TE-interval event loop (§8.1/§8.3/§8.4).
 
     Each 5-minute interval: compute a TE target (reactive basic TE, or
-    proactive FFC per priority class), push it to the ingress switches
-    (configuration attempts may fail — control-plane faults), then play out
-    randomly injected data-plane faults as a piecewise-constant timeline of
-    tunnel rates:
+    proactive FFC per priority class) against the {e installed} mixture
+    reported by the stateful {!Southbound} engine, push it through that
+    engine (bounded retries with backoff; failures may be persistent
+    outages, leaving switches stale across epochs), then play out randomly
+    injected data-plane faults as a piecewise-constant timeline of tunnel
+    rates:
 
     - a fault blackholes the traffic on its tunnels until detection +
       notification, then ingresses rescale;
@@ -40,18 +42,21 @@ type config = {
   max_iterations : int option;  (** simplex pivot cap per LP; [None] = unbounded *)
   audit_budget : int;
       (** sampled guarantee-audit cases per accepted solve; [0] disables *)
+  retry : Southbound.retry_policy;
+      (** southbound push retry/timeout/backoff parameters *)
 }
 
 val default_config :
   ?deadline_ms:float ->
   ?max_iterations:int ->
   ?audit_budget:int ->
+  ?retry:Southbound.retry_policy ->
   mode:mode ->
   update_model:Update_model.t ->
   Fault_model.t ->
   config
 (** 300 s intervals, 5 ms detection, 50 ms notification, 500 ms compute, no
-    solve deadline, audit budget 8. *)
+    solve deadline, audit budget 8, {!Southbound.default_retry}. *)
 
 type class_stats = {
   offered_gb : float;  (** demand x interval, gigabits *)
@@ -79,6 +84,16 @@ type interval_stats = {
   audit_violations : int;  (** checks that failed (should be zero) *)
   ladder : Ffc_core.Controller.attempt list;
       (** full per-attempt telemetry, chronological *)
+  southbound : Southbound.report;
+      (** this interval's push report: attempts, retries, stale set *)
+  kc_verdict : Southbound.verdict;
+      (** live configuration-fault guarantee check on the post-push state *)
+  kc_checked : int;
+      (** the effective kc the verdict was asserted at
+          ({!Ffc_core.Controller.step_kc}) *)
+  escalated : bool;
+      (** [true] iff the controller solved at a raised kc because more
+          ingresses were stale than the configured protection covers *)
 }
 
 val total_lost : interval_stats -> float

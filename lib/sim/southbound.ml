@@ -1,0 +1,357 @@
+open Ffc_net
+open Ffc_core
+module Rng = Ffc_util.Rng
+
+type retry_policy = {
+  max_attempts : int;
+  attempt_timeout_s : float;
+  backoff_base_s : float;
+  backoff_mult : float;
+  backoff_max_s : float;
+  jitter : float;
+}
+
+let default_retry =
+  {
+    max_attempts = 6;
+    attempt_timeout_s = 10.;
+    backoff_base_s = 1.;
+    backoff_mult = 2.;
+    backoff_max_s = 60.;
+    jitter = 0.5;
+  }
+
+let retry_policy ?(max_attempts = default_retry.max_attempts)
+    ?(attempt_timeout_s = default_retry.attempt_timeout_s)
+    ?(backoff_base_s = default_retry.backoff_base_s)
+    ?(backoff_mult = default_retry.backoff_mult)
+    ?(backoff_max_s = default_retry.backoff_max_s) ?(jitter = default_retry.jitter) () =
+  if max_attempts < 1 then invalid_arg "Southbound.retry_policy: max_attempts < 1";
+  if attempt_timeout_s <= 0. then invalid_arg "Southbound.retry_policy: timeout <= 0";
+  if jitter < 0. then invalid_arg "Southbound.retry_policy: negative jitter";
+  { max_attempts; attempt_timeout_s; backoff_base_s; backoff_mult; backoff_max_s; jitter }
+
+type switch_state = {
+  mutable epoch : int;
+  mutable running : Te_types.allocation;
+  mutable outage_until : float;  (** absolute simulation time *)
+}
+
+type t = {
+  retry : retry_policy;
+  model : Update_model.t;
+  switches : (Topology.switch, switch_state) Hashtbl.t;
+  mutable target_epoch : int;
+  mutable now : float;
+  (* lifetime counters *)
+  mutable total_attempts : int;
+  mutable total_retries : int;
+  mutable total_retry_successes : int;
+  mutable total_failures : int;
+  mutable total_timeouts : int;
+  mutable total_outages : int;
+}
+
+let create ?(retry = default_retry) model (input : Te_types.input) =
+  let switches = Hashtbl.create 16 in
+  let zero = Te_types.zero_allocation input in
+  List.iter
+    (fun (f : Flow.t) ->
+      if not (Hashtbl.mem switches f.Flow.src) then
+        Hashtbl.add switches f.Flow.src { epoch = 0; running = zero; outage_until = 0. })
+    input.Te_types.flows;
+  {
+    retry;
+    model;
+    switches;
+    target_epoch = 0;
+    now = 0.;
+    total_attempts = 0;
+    total_retries = 0;
+    total_retry_successes = 0;
+    total_failures = 0;
+    total_timeouts = 0;
+    total_outages = 0;
+  }
+
+let state t v =
+  match Hashtbl.find_opt t.switches v with
+  | Some s -> s
+  | None -> invalid_arg "Southbound: unknown ingress switch"
+
+let running t v = (state t v).running
+let epoch_lag t v = t.target_epoch - (state t v).epoch
+let now_s t = t.now
+let target_epoch t = t.target_epoch
+
+let stale_switches t =
+  Hashtbl.fold (fun v s acc -> if s.epoch < t.target_epoch then v :: acc else acc)
+    t.switches []
+  |> List.sort compare
+
+let force_outage t v ~until_s = (state t v).outage_until <- until_s
+
+let total_attempts t = t.total_attempts
+let total_retries t = t.total_retries
+let total_retry_successes t = t.total_retry_successes
+let total_failures t = t.total_failures
+let total_timeouts t = t.total_timeouts
+let total_outages t = t.total_outages
+
+(* ------------------------------------------------------------------ *)
+(* Push                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type apply_event = { switch : Topology.switch; at_s : float; attempts : int }
+
+type report = {
+  epoch : int;
+  pushed : int;
+  applied : apply_event list;
+  stale : Topology.switch list;
+  max_epoch_lag : int;
+  attempts : int;
+  retries : int;
+  retry_successes : int;
+  failures : int;
+  timeouts : int;
+  outages_started : int;
+}
+
+(* A switch needs a push iff some flow it sources would change its installed
+   split (weights) or gain rules it doesn't have. Rate limits live at the
+   hosts, not the switch, so a pure [bf] change needs no switch update. *)
+let needs_push (input : Te_types.input) (st : switch_state) v ~target =
+  List.exists
+    (fun (f : Flow.t) ->
+      f.Flow.src = v
+      &&
+      let w_new = Te_types.weights target f.Flow.id in
+      let w_old = Te_types.weights st.running f.Flow.id in
+      Array.exists2 (fun a b -> abs_float (a -. b) > 1e-6) w_new w_old)
+    input.Te_types.flows
+
+let backoff_delay t rng ~attempt =
+  let p = t.retry in
+  let base = p.backoff_base_s *. (p.backoff_mult ** float_of_int (attempt - 1)) in
+  let capped = min p.backoff_max_s base in
+  capped *. (1. +. (if p.jitter > 0. then p.jitter *. Rng.float rng 1. else 0.))
+
+let push t rng (input : Te_types.input) ~target ~interval_s =
+  t.target_epoch <- t.target_epoch + 1;
+  let epoch = t.target_epoch in
+  let pushed = ref 0 in
+  let applied = ref [] in
+  let attempts = ref 0 in
+  let retries = ref 0 in
+  let retry_successes = ref 0 in
+  let failures = ref 0 in
+  let timeouts = ref 0 in
+  let outages_started = ref 0 in
+  let switches =
+    List.sort compare (Hashtbl.fold (fun v _ acc -> v :: acc) t.switches [])
+  in
+  List.iter
+    (fun v ->
+      let st = state t v in
+      if not (needs_push input st v ~target) then begin
+        (* Nothing to install: the switch's splits already match the target,
+           so it silently runs the new epoch. *)
+        st.running <- target;
+        st.epoch <- epoch
+      end
+      else begin
+        incr pushed;
+        (* All pushes start at the interval edge and run concurrently; each
+           switch has its own retry timeline within [0, interval_s). *)
+        let tl = ref 0. in
+        let attempt = ref 0 in
+        let had_failure = ref false in
+        let done_ = ref false in
+        while (not !done_) && !attempt < t.retry.max_attempts && !tl < interval_s do
+          incr attempt;
+          incr attempts;
+          if !attempt > 1 then incr retries;
+          let in_outage = t.now +. !tl < st.outage_until in
+          let result =
+            if in_outage then Update_model.Failed
+            else Update_model.attempt_update rng t.model
+          in
+          match result with
+          | Update_model.Failed ->
+            incr failures;
+            had_failure := true;
+            (* A fresh failure may be the onset of a persistent control-plane
+               outage; while one lasts every retry fails (correlated). *)
+            if (not in_outage) && Rng.bernoulli rng t.model.Update_model.outage_prob
+            then begin
+              incr outages_started;
+              st.outage_until <-
+                t.now +. !tl +. t.model.Update_model.outage_duration_s rng
+            end;
+            (* Failures are detected immediately (RPC error); back off. *)
+            tl := !tl +. backoff_delay t rng ~attempt:!attempt
+          | Update_model.Completed d ->
+            if d > t.retry.attempt_timeout_s then begin
+              (* Straggler: abandoned at the timeout, then backed off. *)
+              incr timeouts;
+              had_failure := true;
+              tl :=
+                !tl +. t.retry.attempt_timeout_s +. backoff_delay t rng ~attempt:!attempt
+            end
+            else if !tl +. d > interval_s then begin
+              (* Completed, but past the interval edge: the interval ran on
+                 the old configuration throughout — still stale. *)
+              incr timeouts;
+              done_ := true
+            end
+            else begin
+              st.running <- target;
+              st.epoch <- epoch;
+              applied := { switch = v; at_s = !tl +. d; attempts = !attempt } :: !applied;
+              if !had_failure || !attempt > 1 then incr retry_successes;
+              done_ := true
+            end
+        done
+      end)
+    switches;
+  t.now <- t.now +. interval_s;
+  let stale = stale_switches t in
+  let max_lag =
+    Hashtbl.fold (fun _ (s : switch_state) acc -> max acc (epoch - s.epoch)) t.switches 0
+  in
+  t.total_attempts <- t.total_attempts + !attempts;
+  t.total_retries <- t.total_retries + !retries;
+  t.total_retry_successes <- t.total_retry_successes + !retry_successes;
+  t.total_failures <- t.total_failures + !failures;
+  t.total_timeouts <- t.total_timeouts + !timeouts;
+  t.total_outages <- t.total_outages + !outages_started;
+  {
+    epoch;
+    pushed = !pushed;
+    applied = List.rev !applied;
+    stale;
+    max_epoch_lag = max_lag;
+    attempts = !attempts;
+    retries = !retries;
+    retry_successes = !retry_successes;
+    failures = !failures;
+    timeouts = !timeouts;
+    outages_started = !outages_started;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Installed view                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* What the network as a whole runs: each flow's row comes from whatever
+   allocation its ingress switch has actually installed. A raw
+   configuration view — rows from different epochs mix old rates with old
+   splits. *)
+let installed_mix t (input : Te_types.input) =
+  let n = Array.length input.Te_types.demands in
+  let bf = Array.make n 0. in
+  let af = Array.make n [||] in
+  List.iter
+    (fun (f : Flow.t) ->
+      let id = f.Flow.id in
+      let src = (state t f.Flow.src).running in
+      bf.(id) <- src.Te_types.bf.(id);
+      af.(id) <- Array.copy src.Te_types.af.(id))
+    input.Te_types.flows;
+  { Te_types.bf; af }
+
+(* The load the network actually imposes: host rate limiters enforce
+   [rates] (they always update), while each ingress switch splits by its
+   installed weights. This — not {!installed_mix} — is the honest [prev]
+   for the controller: its per-link loads are the real current loads, so
+   the formulation's already-overloaded escape (§4.5) and near-zero-load
+   ingress skip (§6) fire exactly when the network is actually in those
+   states, and its weights are each switch's installed splits, which is
+   what the control-plane constraints protect against. *)
+let imposed_mix t (input : Te_types.input) ~rates =
+  let n = Array.length input.Te_types.demands in
+  let bf = Array.copy rates in
+  let af = Array.make n [||] in
+  List.iter
+    (fun (f : Flow.t) ->
+      let id = f.Flow.id in
+      let w = Te_types.weights (state t f.Flow.src).running id in
+      (* A flow currently granted zero rate still has its splits installed
+         at the switch; a later target that re-grants it must protect
+         against those weights. Keep them visible through an epsilon rate
+         far below every constraint tolerance (1e-6). *)
+      let r = max rates.(id) 1e-9 in
+      af.(id) <- Array.map (fun wi -> wi *. r) w)
+    input.Te_types.flows;
+  { Te_types.bf; af }
+
+(* ------------------------------------------------------------------ *)
+(* kc-guarantee checker                                                *)
+(* ------------------------------------------------------------------ *)
+
+type violation = {
+  link : Topology.link;
+  load : float;
+  capacity : float;
+  stale_set : Topology.switch list;
+}
+
+type verdict = Ok_checked | Beyond_budget of Topology.switch list | Violation of violation
+
+(* The paper's configuration-fault semantics (§2.2): a stale ingress splits
+   the NEW rate [b_f] by its OLD weights — host rate limiters update even
+   when the switch's splits don't. *)
+let stale_load_alloc t (input : Te_types.input) ~target ~stale =
+  let is_stale v = List.mem v stale in
+  let n = Array.length input.Te_types.demands in
+  let bf = Array.copy target.Te_types.bf in
+  let af = Array.make n [||] in
+  List.iter
+    (fun (f : Flow.t) ->
+      let id = f.Flow.id in
+      if is_stale f.Flow.src then begin
+        let w = Te_types.weights (state t f.Flow.src).running id in
+        af.(id) <- Array.map (fun wi -> wi *. target.Te_types.bf.(id)) w
+      end
+      else af.(id) <- Array.copy target.Te_types.af.(id))
+    input.Te_types.flows;
+  { Te_types.bf; af }
+
+let check_guarantee t ?(grandfathered = fun _ -> false) (input : Te_types.input) ~target
+    ~kc =
+  let stale = stale_switches t in
+  if List.length stale > kc then Beyond_budget stale
+  else begin
+    let mixed = stale_load_alloc t input ~target ~stale in
+    let per_link = Formulation.crossings_by_link input in
+    let loads = Update_plan.ingress_loads per_link mixed in
+    let links = Topology.links input.Te_types.topo in
+    let bad = ref None in
+    Array.iter
+      (fun (l : Topology.link) ->
+        (* §4.5: a link already overloaded before this target was computed
+           (e.g. by beyond-budget staleness in an earlier epoch) is granted
+           unprotected moves by the formulation — the guarantee makes no
+           promise there until the overload clears. *)
+        if !bad = None && not (grandfathered l.Topology.id) then begin
+          let total =
+            List.fold_left (fun acc (_, x) -> acc +. x) 0. loads.(l.Topology.id)
+          in
+          if total > l.Topology.capacity +. 1e-6 then
+            bad :=
+              Some
+                { link = l; load = total; capacity = l.Topology.capacity; stale_set = stale }
+        end)
+      links;
+    match !bad with None -> Ok_checked | Some v -> Violation v
+  end
+
+let pp_verdict fmt = function
+  | Ok_checked -> Format.fprintf fmt "ok"
+  | Beyond_budget stale ->
+    Format.fprintf fmt "beyond-budget (%d stale)" (List.length stale)
+  | Violation v ->
+    Format.fprintf fmt "VIOLATION link=%d->%d load=%.3f cap=%.3f stale=[%s]"
+      v.link.Topology.src v.link.Topology.dst v.load v.capacity
+      (String.concat ";" (List.map string_of_int v.stale_set))

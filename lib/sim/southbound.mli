@@ -1,0 +1,176 @@
+(** Stateful southbound update engine: per-switch configuration epochs,
+    retry/timeout/backoff, and live verification of the paper's
+    configuration-fault guarantee (§2.2, Eqn 5).
+
+    The fire-and-forget push of the earlier engine assumed every ingress
+    switch installs the new target by the next interval. Real control planes
+    don't: configuration attempts fail, straggle past timeouts, and some
+    failures are persistent outages that keep a switch stale across whole TE
+    intervals ({!Update_model.t.outage_prob}). This engine tracks, per
+    ingress switch, which configuration {e epoch} it actually runs, pushes
+    each new target with bounded retries (exponential backoff with jitter,
+    per-attempt timeout, all inside the TE interval), and exposes the
+    resulting mixture of installed allocations so the data plane and the
+    controller both see the truth:
+
+    - {!installed_mix} — the controller's honest [prev]: each flow's row
+      from the allocation its ingress switch actually runs;
+    - {!running} — per-switch installed allocation, for the data plane's
+      stale-split computation ([Rescale.rescale ~old_alloc_of]);
+    - {!check_guarantee} — the always-on checker of the FFC configuration
+      guarantee: whenever at most [kc] switches are stale, no link may
+      exceed capacity under the paper's stuck-switch semantics (new rate
+      [b_f] split by old weights).
+
+    All engine state persists across {!push} calls, so an outage longer
+    than one interval yields multi-epoch staleness. All randomness comes
+    from the caller's {!Ffc_util.Rng.t}. *)
+
+open Ffc_core
+
+type retry_policy = {
+  max_attempts : int;  (** per switch per interval, >= 1 *)
+  attempt_timeout_s : float;  (** straggler abandonment threshold *)
+  backoff_base_s : float;
+  backoff_mult : float;  (** delay n = min(max, base * mult^(n-1)) *)
+  backoff_max_s : float;
+  jitter : float;
+      (** delay is scaled by [1 + jitter * U(0,1)] — desynchronises retries *)
+}
+
+val default_retry : retry_policy
+(** 6 attempts, 10 s timeout, backoff 1 s doubling capped at 60 s,
+    jitter 0.5. *)
+
+val retry_policy :
+  ?max_attempts:int ->
+  ?attempt_timeout_s:float ->
+  ?backoff_base_s:float ->
+  ?backoff_mult:float ->
+  ?backoff_max_s:float ->
+  ?jitter:float ->
+  unit ->
+  retry_policy
+(** {!default_retry} with overrides; validates the fields. *)
+
+type t
+(** Mutable engine state: per-ingress-switch epoch, installed allocation and
+    outage deadline, plus lifetime counters. *)
+
+val create : ?retry:retry_policy -> Update_model.t -> Te_types.input -> t
+(** One state per ingress switch of [input] (epoch 0, running the zero
+    allocation — an unconfigured switch blackholes, as in the pre-engine
+    semantics). *)
+
+type apply_event = {
+  switch : Ffc_net.Topology.switch;
+  at_s : float;  (** seconds after the interval edge at which it applied *)
+  attempts : int;  (** attempts used, >= 1 *)
+}
+
+type report = {
+  epoch : int;  (** the epoch this push targeted *)
+  pushed : int;  (** switches whose installed splits differed from the target *)
+  applied : apply_event list;  (** this push's successful installs *)
+  stale : Ffc_net.Topology.switch list;
+      (** switches running any older epoch after the push (sorted) *)
+  max_epoch_lag : int;  (** worst per-switch epoch deficit *)
+  attempts : int;
+  retries : int;  (** attempts beyond each switch's first *)
+  retry_successes : int;
+      (** switches that applied after at least one failure/timeout *)
+  failures : int;  (** failed attempts (outage-correlated ones included) *)
+  timeouts : int;  (** stragglers abandoned + completions past the edge *)
+  outages_started : int;
+}
+
+val push : t -> Ffc_util.Rng.t -> Te_types.input -> target:Te_types.allocation ->
+  interval_s:float -> report
+(** Advance to the next epoch and push [target] to every switch whose
+    installed splits differ (a pure rate change needs no switch update:
+    rate limiters live at the hosts). Pushes run concurrently from the
+    interval edge, each on its own retry timeline bounded by [interval_s];
+    an attempt during a control-plane outage fails deterministically, and a
+    fresh failure starts an outage with probability
+    {!Update_model.t.outage_prob}. Advances the engine clock by
+    [interval_s]. *)
+
+val running : t -> Ffc_net.Topology.switch -> Te_types.allocation
+(** Allocation the switch actually runs. *)
+
+val stale_switches : t -> Ffc_net.Topology.switch list
+(** Switches running an older epoch than the current target (sorted). *)
+
+val epoch_lag : t -> Ffc_net.Topology.switch -> int
+
+val installed_mix : t -> Te_types.input -> Te_types.allocation
+(** Network-wide installed {e configuration}: each flow's [bf]/[af] row
+    taken verbatim from its ingress switch's running allocation. An
+    inspection view; rows from different epochs mix old rates with old
+    splits, so its implied link loads are not the actual current loads —
+    use {!imposed_mix} for the controller. *)
+
+val imposed_mix : t -> Te_types.input -> rates:float array -> Te_types.allocation
+(** The load the network actually imposes: per flow, [rates] (the per-flow
+    sending rate the host rate limiters currently enforce — the last
+    granted [bf]) split by the ingress switch's installed weights. Feed
+    this to {!Controller.step} as [prev]: its link loads are the real
+    current loads (so the formulation's §4.5 already-overloaded escape
+    fires only when genuinely overloaded) and its weights are the installed
+    splits the control-plane constraints must protect against. *)
+
+val force_outage : t -> Ffc_net.Topology.switch -> until_s:float -> unit
+(** Test hook: put the switch in outage until the given absolute engine
+    time ({!now_s} starts at 0 and advances by [interval_s] per push). *)
+
+val now_s : t -> float
+val target_epoch : t -> int
+
+(** {2 kc-guarantee checker} *)
+
+type violation = {
+  link : Ffc_net.Topology.link;
+  load : float;
+  capacity : float;
+  stale_set : Ffc_net.Topology.switch list;
+}
+
+type verdict =
+  | Ok_checked  (** |stale| <= kc and no link over capacity: guarantee holds *)
+  | Beyond_budget of Ffc_net.Topology.switch list
+      (** more stale switches than the protection level covers — the
+          guarantee makes no promise here; escalation territory *)
+  | Violation of violation
+      (** |stale| <= kc yet a link exceeds capacity: an FFC contract bug *)
+
+val check_guarantee :
+  t ->
+  ?grandfathered:(int -> bool) ->
+  Te_types.input ->
+  target:Te_types.allocation ->
+  kc:int ->
+  verdict
+(** Assert Eqn 5 on the live state: compute every link's load under the
+    mixture where each stale ingress splits the {e new} rate by its {e old}
+    (installed) weights, everyone else runs [target], and compare against
+    capacity. [kc] must be the {e effective} protection level
+    ({!Controller.step_kc}), not the requested one. [grandfathered]
+    (by link id; default none) marks links that were already over capacity
+    before this target was computed — the formulation grants those
+    unprotected moves (§4.5), so the checker skips them. The aggregate
+    load comparison coincides with the paper's per-class guarantee when
+    all flows share one priority class; with multiple classes the
+    deliberate headroom sharing of §5.1 means a within-budget aggregate
+    overload is paid by the lowest class, which this checker would flag
+    conservatively. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** {2 Lifetime counters} *)
+
+val total_attempts : t -> int
+val total_retries : t -> int
+val total_retry_successes : t -> int
+val total_failures : t -> int
+val total_timeouts : t -> int
+val total_outages : t -> int

@@ -7,6 +7,8 @@ type t = {
   switch_factor : Rng.t -> float;
   rules_per_update : int;
   config_fail_prob : float;
+  outage_prob : float;
+  outage_duration_s : Rng.t -> float;
 }
 
 (* Lognormal by median and shape, clamped to a maximum (measured
@@ -22,6 +24,12 @@ let realistic () =
     switch_factor = lognormal_clamped ~median:1. ~sigma:0.8 ~max_s:20.;
     rules_per_update = 100;
     config_fail_prob = 0.01;
+    (* A quarter of configuration failures are not transient RPC losses but
+       a control plane that is down for a while (agent crash/restart, wedged
+       firmware): retries against such a switch fail in a correlated way for
+       the sampled outage duration instead of i.i.d. per attempt. *)
+    outage_prob = 0.25;
+    outage_duration_s = lognormal_clamped ~median:45. ~sigma:1.0 ~max_s:600.;
   }
 
 let optimistic () =
@@ -32,6 +40,8 @@ let optimistic () =
     switch_factor = lognormal_clamped ~median:1. ~sigma:0.8 ~max_s:15.;
     rules_per_update = 100;
     config_fail_prob = 0.;
+    outage_prob = 0.;
+    outage_duration_s = (fun _ -> 0.);
   }
 
 type attempt = Failed | Completed of float

@@ -2,8 +2,9 @@
 
     Two parametric models calibrated to the paper's measurements:
     - {!realistic}: B4-like (paper Figure 6(a)) — seconds-scale RPC delay,
-      heavy-tailed per-rule update latency (median ~100 ms), and a 1%
-      outright configuration-failure rate;
+      heavy-tailed per-rule update latency (median ~100 ms), a 1% outright
+      configuration-failure rate, and a quarter of those failures being
+      persistent control-plane outages (median ~45 s, capped at 600 s);
     - {!optimistic}: the controlled-lab measurement (Figure 6(b)) — no RPC
       overhead modelled, per-rule median 10 ms with a 200 ms-scale tail, and
       no failures.
@@ -21,6 +22,15 @@ type t = {
           to the whole rule batch, it models straggling switches *)
   rules_per_update : int;
   config_fail_prob : float;
+  outage_prob : float;
+      (** probability that a configuration failure is a {e persistent}
+          control-plane outage (crashed agent, wedged firmware) rather than
+          a transient RPC loss; while the outage lasts, every retry against
+          the switch fails, so failures are correlated across attempts
+          instead of i.i.d. (consumed by {!Southbound}) *)
+  outage_duration_s : Ffc_util.Rng.t -> float;
+      (** sampled outage length in seconds; outages can span TE intervals,
+          which is what produces multi-epoch staleness *)
 }
 
 val realistic : unit -> t

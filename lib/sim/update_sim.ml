@@ -8,6 +8,8 @@ type config = {
   max_time_s : float;
 }
 
+type completion = Completed of float | Stalled
+
 let completion_time rng cfg =
   let budget = ref cfg.kc in
   let t = ref 0. in
@@ -37,6 +39,21 @@ let completion_time rng cfg =
       end
     end
   done;
-  if !stalled then cfg.max_time_s else min cfg.max_time_s !t
+  (* Explicit censoring: an update that stalls on exhausted budget and one
+     whose acks straggle past the interval edge are both [Stalled] — never a
+     float that happens to equal [max_time_s]. *)
+  if !stalled || !t > cfg.max_time_s then Stalled else Completed !t
 
 let sample_completions rng cfg ~count = List.init count (fun _ -> completion_time rng cfg)
+
+let completed_times cs =
+  List.filter_map (function Completed t -> Some t | Stalled -> None) cs
+
+let censored_times ~max_time_s cs =
+  List.map (function Completed t -> t | Stalled -> max_time_s) cs
+
+let stalled_fraction = function
+  | [] -> 0.
+  | cs ->
+    let stalled = List.length (List.filter (( = ) Stalled) cs) in
+    float_of_int stalled /. float_of_int (List.length cs)

@@ -16,7 +16,25 @@ type config = {
   max_time_s : float;  (** censoring cap (the TE interval, 300 s) *)
 }
 
-val completion_time : Ffc_util.Rng.t -> config -> float
-(** One update's completion time; [max_time_s] when the update stalls. *)
+type completion =
+  | Completed of float  (** finished, total seconds (always [<= max_time_s]) *)
+  | Stalled
+      (** did not finish within [max_time_s]: either the protection budget
+          was exhausted by configuration failures, or the surviving acks
+          straggled past the cap. Explicit, so the paper's never-finish
+          statistic is never inferred from float equality with the cap. *)
 
-val sample_completions : Ffc_util.Rng.t -> config -> count:int -> float list
+val completion_time : Ffc_util.Rng.t -> config -> completion
+(** One update's (possibly censored) completion. *)
+
+val sample_completions : Ffc_util.Rng.t -> config -> count:int -> completion list
+
+val completed_times : completion list -> float list
+(** The finished samples only. *)
+
+val censored_times : max_time_s:float -> completion list -> float list
+(** Every sample, with [Stalled] mapped to [max_time_s] (for CDFs that,
+    like the paper's Figure 16, plot censored distributions). *)
+
+val stalled_fraction : completion list -> float
+(** Fraction of [Stalled] samples; [0.] on the empty list. *)

@@ -152,10 +152,14 @@ let test_update_sim_no_failures_completes () =
       max_time_s = 300.;
     }
   in
-  let ts = Sim.Update_sim.sample_completions rng cfg ~count:100 in
+  let cs = Sim.Update_sim.sample_completions rng cfg ~count:100 in
   List.iter
-    (fun t -> Alcotest.(check bool) "finished" true (t > 0. && t < 300.))
-    ts
+    (fun c ->
+      match c with
+      | Sim.Update_sim.Completed t ->
+        Alcotest.(check bool) "finished" true (t > 0. && t < 300.)
+      | Sim.Update_sim.Stalled -> Alcotest.fail "stalled without failures")
+    cs
 
 let test_update_sim_ffc_faster () =
   let cfg kc =
@@ -168,7 +172,9 @@ let test_update_sim_ffc_faster () =
     }
   in
   let med kc =
-    Stats.median (Sim.Update_sim.sample_completions (Rng.create 10) (cfg kc) ~count:300)
+    Stats.median
+      (Sim.Update_sim.censored_times ~max_time_s:300.
+         (Sim.Update_sim.sample_completions (Rng.create 10) (cfg kc) ~count:300))
   in
   Alcotest.(check bool) "kc=2 faster than kc=0" true (med 2 < med 0)
 
@@ -183,8 +189,8 @@ let test_update_sim_stalls_without_ffc () =
     }
   in
   let stall_frac kc =
-    let ts = Sim.Update_sim.sample_completions (Rng.create 11) (cfg kc) ~count:400 in
-    Stats.fraction_above 299. ts
+    Sim.Update_sim.stalled_fraction
+      (Sim.Update_sim.sample_completions (Rng.create 11) (cfg kc) ~count:400)
   in
   let without = stall_frac 0 and with_ffc = stall_frac 2 in
   (* 45 attempts at 1%: ~36% of updates see a failure and stall. *)
@@ -310,6 +316,8 @@ let deterministic_update_model delay_s =
     switch_factor = (fun _ -> 1.);
     rules_per_update = 100;
     config_fail_prob = 0.;
+    outage_prob = 0.;
+    outage_duration_s = (fun _ -> 0.);
   }
 
 let test_engine_loss_accounting () =
