@@ -78,6 +78,18 @@ type outcome =
 
 type backend = [ `Revised | `Dense_tableau ]
 
+(* Fingerprint of the formulation shape a basis is recorded against: the
+   variable count plus *which* original rows survived presolve. Two
+   reductions of perturbed data can keep equally many rows but different row
+   sets, which shifts every slack column; comparing only dimensions (as the
+   solver's own backstop does) misses that. FNV-style fold, never 0 so that
+   0 can mean "unstamped". *)
+let basis_shape ~nvars kept =
+  let h = ref (16777619 * (nvars + 1)) in
+  Array.iter (fun r -> h := (!h * 16777619) lxor (r + 1)) kept;
+  let h = !h land max_int in
+  if h = 0 then 1 else h
+
 let to_problem ?(presolve = true) t =
   let lb = Array.of_list (List.rev t.lbs) in
   let ub = Array.of_list (List.rev t.ubs) in
@@ -88,20 +100,47 @@ let to_problem ?(presolve = true) t =
   if presolve then
     match Presolve.reduce ~lb ~ub ~rows with
     | Presolve.Infeasible _ -> None
-    | Presolve.Reduced { lb; ub; rows } ->
-      Some (Problem.build ~nstruct:t.nvars ~lb ~ub ~obj ~rows)
-  else Some (Problem.build ~nstruct:t.nvars ~lb ~ub ~obj ~rows)
+    | Presolve.Reduced { lb; ub; rows; kept } ->
+      Some (Problem.build ~nstruct:t.nvars ~lb ~ub ~obj ~rows, kept)
+  else
+    Some
+      ( Problem.build ~nstruct:t.nvars ~lb ~ub ~obj ~rows,
+        Array.init (List.length rows) Fun.id )
 
 let solve ?(backend = `Revised) ?presolve ?max_iterations ?deadline_ms ?warm_start t =
   match to_problem ?presolve t with
   | None ->
     t.last_stats <- Some (Problem.default_stats ~reason:"presolve-infeasible" ());
     Infeasible
-  | Some p ->
+  | Some (p, kept) ->
+  let shape = basis_shape ~nvars:t.nvars kept in
+  (* Drop a warm basis stamped against a different presolve reduction: its
+     slack indices no longer mean the same rows. Unstamped bases (shape 0,
+     from direct [Revised.solve] use) rely on the solver's dimension check. *)
+  let warm_start, shape_mismatch =
+    match warm_start with
+    | Some b when b.Problem.shape <> 0 && b.Problem.shape <> shape -> (None, true)
+    | w -> (w, false)
+  in
   let result =
     match backend with
     | `Revised -> Revised.solve ?max_iterations ?deadline_ms ?basis:warm_start p
     | `Dense_tableau -> Dense_tableau.solve ?max_iterations ?deadline_ms p
+  in
+  let result =
+    if not shape_mismatch then result
+    else
+      let s = result.Problem.stats in
+      {
+        result with
+        Problem.stats =
+          {
+            s with
+            Problem.restarts = s.Problem.restarts + 1;
+            status_reason =
+              "warm basis dropped: presolve row-set mismatch; " ^ s.Problem.status_reason;
+          };
+      }
   in
   t.last_stats <- Some result.Problem.stats;
   match result.Problem.status with
@@ -110,7 +149,10 @@ let solve ?(backend = `Revised) ?presolve ?max_iterations ?deadline_ms ?warm_sta
     let obj =
       Expr.eval (fun j -> x.(j)) t.objective
     in
-    Optimal { x; obj; stats = result.Problem.stats; basis = result.Problem.basis }
+    let basis =
+      Option.map (fun b -> { b with Problem.shape }) result.Problem.basis
+    in
+    Optimal { x; obj; stats = result.Problem.stats; basis }
   | Problem.Infeasible -> Infeasible
   | Problem.Unbounded -> Unbounded
   | Problem.Iteration_limit -> Iteration_limit

@@ -57,8 +57,12 @@ val solve :
     {!Deadline_exceeded} respectively. [?warm_start] seeds the revised
     simplex with a basis snapshot from a previous solve of a same-shaped
     model (see {!solution_basis}); it is ignored by the dense-tableau backend
-    and silently dropped (recorded in the stats) when its dimension does not
-    match. *)
+    and dropped (recorded in the stats as a restart with a [status_reason])
+    when its dimension does not match or when it was recorded against a
+    different presolve reduction -- perturbed data can change which rows
+    presolve absorbs, shifting slack indices even at equal row counts.
+    Bases returned through {!solution_basis} are stamped with the reduction
+    shape to make that check possible. *)
 
 val last_stats : t -> Problem.solver_stats option
 (** Instrumentation of the most recent [solve] on this model, available

@@ -1,7 +1,7 @@
 type row = (int * float) list * Problem.sense * float
 
 type outcome =
-  | Reduced of { lb : float array; ub : float array; rows : row list }
+  | Reduced of { lb : float array; ub : float array; rows : row list; kept : int array }
   | Infeasible of string
 
 let tol = 1e-9
@@ -73,18 +73,30 @@ let reduce ~lb ~ub ~rows =
     | kept -> Some (List.rev kept, sense, rhs)
   in
   try
-    (* Fixpoint: re-simplify as long as new variables get fixed. *)
-    let rows = ref rows in
+    (* Fixpoint: re-simplify as long as new variables get fixed. Rows carry
+       their original index so callers can tell *which* rows survived, not
+       just how many (warm-start bases are only transferable between solves
+       that kept the same row set). *)
+    let rows = ref (List.mapi (fun i r -> (i, r)) rows) in
     let progress = ref true in
     let rounds = ref 0 in
     while !progress && !rounds < 50 do
       incr rounds;
       let fixed_before = Array.init n fixed in
-      rows := List.filter_map simplify !rows;
+      rows :=
+        List.filter_map
+          (fun (i, r) -> Option.map (fun r' -> (i, r')) (simplify r))
+          !rows;
       progress := false;
       for j = 0 to n - 1 do
         if fixed j && not fixed_before.(j) then progress := true
       done
     done;
-    Reduced { lb; ub; rows = !rows }
+    Reduced
+      {
+        lb;
+        ub;
+        rows = List.map snd !rows;
+        kept = Array.of_list (List.map fst !rows);
+      }
   with Found_infeasible msg -> Infeasible msg

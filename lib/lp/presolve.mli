@@ -15,9 +15,11 @@ type row = (int * float) list * Problem.sense * float
 (** [(terms, sense, rhs)] with variable indices into the bound arrays. *)
 
 type outcome =
-  | Reduced of { lb : float array; ub : float array; rows : row list }
+  | Reduced of { lb : float array; ub : float array; rows : row list; kept : int array }
       (** tightened bounds (fresh arrays) and the surviving rows, in
-          original order *)
+          original order; [kept.(i)] is the original index of the [i]-th
+          surviving row, so callers can fingerprint *which* rows survived
+          (two reductions with equal row counts need not keep the same set) *)
   | Infeasible of string  (** human-readable reason *)
 
 val reduce : lb:float array -> ub:float array -> rows:row list -> outcome

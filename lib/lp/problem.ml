@@ -71,7 +71,9 @@ type status = Optimal | Infeasible | Unbounded | Iteration_limit | Deadline_exce
 
 type col_status = Bs_basic | Bs_lower | Bs_upper | Bs_free
 
-type basis = col_status array
+type basis = { statuses : col_status array; shape : int }
+
+let basis_of_statuses ?(shape = 0) statuses = { statuses; shape }
 
 type solver_stats = {
   phase1_iterations : int;
@@ -81,6 +83,9 @@ type solver_stats = {
   bland_activations : int;
   restarts : int;
   ftran_ms : float;
+  factor_nnz : int;
+  factor_fill : int;
+  lu_updates : int;
   warm_started : bool;
   status_reason : string;
 }
@@ -94,15 +99,19 @@ let default_stats ?(reason = "") () =
     bland_activations = 0;
     restarts = 0;
     ftran_ms = 0.;
+    factor_nnz = 0;
+    factor_fill = 0;
+    lu_updates = 0;
     warm_started = false;
     status_reason = reason;
   }
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "iters=%d+%d refactor=%d degen=%d bland=%d restarts=%d ftran=%.2fms warm=%b%s"
-    s.phase1_iterations s.phase2_iterations s.refactorisations s.degenerate_pivots
-    s.bland_activations s.restarts s.ftran_ms s.warm_started
+    "iters=%d+%d refactor=%d nnz=%d fill=%d updates=%d degen=%d bland=%d restarts=%d \
+     ftran=%.2fms warm=%b%s"
+    s.phase1_iterations s.phase2_iterations s.refactorisations s.factor_nnz s.factor_fill
+    s.lu_updates s.degenerate_pivots s.bland_activations s.restarts s.ftran_ms s.warm_started
     (if s.status_reason = "" then "" else " (" ^ s.status_reason ^ ")")
 
 type result = {

@@ -45,11 +45,23 @@ type col_status = Bs_basic | Bs_lower | Bs_upper | Bs_free
 (** Per-column basis status: in the basis, nonbasic at a bound, or nonbasic
     free (at value 0). *)
 
-type basis = col_status array
+type basis = {
+  statuses : col_status array;  (** one entry per structural + slack column *)
+  shape : int;
+      (** fingerprint of the formulation shape the snapshot was recorded
+          against (the presolve-surviving row set); [0] means unstamped.
+          {!Model.solve} stamps outgoing bases and drops a warm start whose
+          stamp disagrees with the current reduction — two presolves can keep
+          the same *number* of rows but different row sets, silently shifting
+          every slack column index. *)
+}
 (** A basis snapshot over all [ncols] structural + slack columns, suitable
     for warm-starting {!Revised.solve} on the same problem or on a problem
     with identical dimensions (e.g. the next TE interval's re-build of the
     same formulation with perturbed data). *)
+
+val basis_of_statuses : ?shape:int -> col_status array -> basis
+(** Wrap raw per-column statuses; [shape] defaults to [0] (unstamped). *)
 
 type solver_stats = {
   phase1_iterations : int;  (** iterations spent finding a feasible basis *)
@@ -61,6 +73,11 @@ type solver_stats = {
       (** numerical restarts: warm-start fallbacks to a cold basis and
           phase-1 retries after a spurious unbounded ray *)
   ftran_ms : float;  (** wall-clock time inside FTRAN solves *)
+  factor_nnz : int;  (** nonzeros of the final LU basis factorisation *)
+  factor_fill : int;
+      (** fill-in of the final factorisation: factor nonzeros minus basis
+          nonzeros (negative when cancellation wins) *)
+  lu_updates : int;  (** column-replacement updates absorbed across the solve *)
   warm_started : bool;  (** a supplied basis was accepted and used *)
   status_reason : string;
       (** human-readable reason for the final status, e.g.

@@ -1,15 +1,19 @@
 (* Bounded-variable revised primal simplex over a factorised basis.
 
-   The basis inverse is never formed explicitly: a Gauss-Jordan product-form
-   factorisation (an "eta file") represents B^-1 as a product of eta-matrix
-   inverses. Refactorisation rebuilds the file from the basis columns
-   (fewest-nonzeros-first, partial pivoting over not-yet-pivoted rows), and
-   each simplex pivot appends one update eta -- the FTRAN'd entering column.
-   FTRAN applies etas oldest-to-newest and skips any eta whose pivot entry of
-   the work vector is zero, so its cost follows the eta file's fill and the
-   column sparsity of the constraint matrix rather than m^2; BTRAN (for the
-   duals) applies them newest-to-oldest. The file is rebuilt after
-   [eta_refactor_limit] update etas or when numerical drift is detected.
+   The basis inverse is never formed explicitly: the basis matrix is held as
+   a sparse LU factorisation ({!Sparse_lu}) built with Markowitz ordering and
+   threshold partial pivoting, so fill-in stays close to the structural
+   minimum of these network-flow-shaped matrices. FTRAN/BTRAN are sparse
+   triangular solves over the factors; each simplex pivot absorbs the column
+   replacement as one sparse product-form update eta layered on the fixed
+   factors. The factorisation is rebuilt after [lu_update_limit] updates or
+   when numerical drift is detected.
+
+   Pricing is candidate-list (partial) Dantzig: a full reduced-cost scan
+   fills a short list of the most attractive nonbasic columns, and subsequent
+   iterations price only that list; optimality is only ever declared by an
+   empty *full* scan. Bland's rule (first eligible index, full scan) takes
+   over on long degenerate runs.
 
    Variable layout: columns [0, ncols) are the problem's structural + slack
    columns; columns [ncols, ncols + nrows) are artificial variables, one per
@@ -30,8 +34,9 @@
    - [basic.(i)] is the variable basic in position/row i; [vstat.(j)] tracks
      whether a variable is basic, at a bound, or nonbasic free (value 0);
    - [xval.(j)] is the current value of every variable;
-   - the eta file applied to a scattered column equals B^-1 times it; drift
-     is measured against the true residual and triggers refactorisation. *)
+   - the factorisation (plus its update etas) applied to a scattered column
+     equals B^-1 times it; drift is measured against the true residual and
+     triggers refactorisation. *)
 
 module Clock = Ffc_util.Clock
 
@@ -39,16 +44,8 @@ let feas_tol = 1e-7
 let opt_tol = 1e-7
 let pivot_tol = 1e-8
 let zero_tol = 1e-11
-let drop_tol = 1e-13
-let eta_refactor_limit = 100
-
-type vstat = Basic | At_lower | At_upper | Free_nonbasic
-
-(* One eta matrix: identity except column [er], whose pivot entry is [epiv]
-   and whose off-pivot nonzeros are [eidx]/[evals]. *)
-type eta = { er : int; epiv : float; eidx : int array; evals : float array }
-
-let dummy_eta = { er = -1; epiv = 1.; eidx = [||]; evals = [||] }
+let lu_update_limit = 100
+let candidate_list_size = 128
 
 (* Instrumentation counters that survive a warm-start fallback. *)
 type acc = {
@@ -57,6 +54,7 @@ type acc = {
   mutable bland_activations : int;
   mutable restarts : int;
   mutable ftran_ms : float;
+  mutable lu_updates : int;
   mutable spent_iterations : int; (* iterations of abandoned attempts *)
 }
 
@@ -67,8 +65,11 @@ let fresh_acc () =
     bland_activations = 0;
     restarts = 0;
     ftran_ms = 0.;
+    lu_updates = 0;
     spent_iterations = 0;
   }
+
+type vstat = Basic | At_lower | At_upper | Free_nonbasic
 
 type state = {
   p : Problem.t;
@@ -81,12 +82,11 @@ type state = {
   mutable basic : int array; (* position -> variable *)
   vstat : vstat array;
   xval : float array;
-  mutable etas : eta array;
-  mutable neta : int;
-  mutable base_neta : int; (* etas belonging to the factorisation proper *)
+  mutable lu : Sparse_lu.t option; (* None only before the first factorisation *)
   work : float array; (* scratch, length m *)
   rwork : float array;
-  fwork : float array;
+  cand : int array; (* candidate-list pricing: variable indices *)
+  mutable ncand : int;
   mutable bland : bool;
   mutable degenerate_run : int;
   mutable iterations : int;
@@ -120,54 +120,18 @@ let residual st out =
   done
 
 (* ------------------------------------------------------------------ *)
-(* Eta file                                                            *)
+(* FTRAN / BTRAN over the LU factorisation                             *)
 (* ------------------------------------------------------------------ *)
 
-let ensure_eta_capacity st =
-  if st.neta = Array.length st.etas then begin
-    let a = Array.make (max 16 (2 * Array.length st.etas)) dummy_eta in
-    Array.blit st.etas 0 a 0 st.neta;
-    st.etas <- a
-  end
-
-(* Record the eta whose column is the dense vector [w] with pivot row [r]. *)
-let push_eta st w r =
-  let cnt = ref 0 in
-  for i = 0 to st.m - 1 do
-    if i <> r && abs_float (Array.unsafe_get w i) > drop_tol then incr cnt
-  done;
-  let idx = Array.make !cnt 0 and vals = Array.make !cnt 0. in
-  let k = ref 0 in
-  for i = 0 to st.m - 1 do
-    if i <> r && abs_float (Array.unsafe_get w i) > drop_tol then begin
-      idx.(!k) <- i;
-      vals.(!k) <- w.(i);
-      incr k
-    end
-  done;
-  ensure_eta_capacity st;
-  st.etas.(st.neta) <- { er = r; epiv = w.(r); eidx = idx; evals = vals };
-  st.neta <- st.neta + 1
-
-(* w := B^-1 w: apply eta inverses oldest-to-newest. An eta whose pivot
-   entry of [w] is zero is skipped entirely, so the cost follows the
-   nonzero pattern rather than m per eta. *)
+(* w := B^-1 w. Before the first factorisation the basis is the identity
+   (never the case once [initial_state]/[warm_state] ran). *)
 let ftran_vec st w =
-  let t0 = Clock.now_ms () in
-  for k = 0 to st.neta - 1 do
-    let e = Array.unsafe_get st.etas k in
-    let wr = Array.unsafe_get w e.er in
-    if wr <> 0. then begin
-      let wr' = wr /. e.epiv in
-      Array.unsafe_set w e.er wr';
-      for t = 0 to Array.length e.eidx - 1 do
-        let i = Array.unsafe_get e.eidx t in
-        Array.unsafe_set w i
-          (Array.unsafe_get w i -. (Array.unsafe_get e.evals t *. wr'))
-      done
-    end
-  done;
-  st.acc.ftran_ms <- st.acc.ftran_ms +. Clock.since_ms t0
+  match st.lu with
+  | None -> ()
+  | Some lu ->
+    let t0 = Clock.now_ms () in
+    Sparse_lu.ftran lu w;
+    st.acc.ftran_ms <- st.acc.ftran_ms +. Clock.since_ms t0
 
 (* w = B^-1 a_j: scatter the sparse column, then FTRAN. *)
 let ftran st j w =
@@ -178,19 +142,12 @@ let ftran st j w =
   done;
   ftran_vec st w
 
-(* y^T = cB^T B^-1: BTRAN, eta inverses newest-to-oldest. *)
+(* y^T = cB^T B^-1: BTRAN. *)
 let duals st y =
   for i = 0 to st.m - 1 do
     y.(i) <- st.cost.(st.basic.(i))
   done;
-  for k = st.neta - 1 downto 0 do
-    let e = Array.unsafe_get st.etas k in
-    let s = ref (Array.unsafe_get y e.er) in
-    for t = 0 to Array.length e.eidx - 1 do
-      s := !s -. (Array.unsafe_get e.evals t *. Array.unsafe_get y (Array.unsafe_get e.eidx t))
-    done;
-    Array.unsafe_set y e.er (!s /. e.epiv)
-  done
+  match st.lu with None -> () | Some lu -> Sparse_lu.btran lu y
 
 (* Recompute basic variable values from the factorisation; returns max
    change seen (numerical drift indicator). *)
@@ -210,83 +167,35 @@ let recompute_basics st =
 (* Refactorisation                                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Rebuild the eta file from the basis columns [cols] (Gauss-Jordan product
-   form, fewest-nonzeros first so slack/artificial unit columns produce
-   trivial etas, partial pivoting over not-yet-pivoted rows). With
-   [~complete], rows left unpivoted by [cols] are covered by their pinned
-   artificial columns (rank completion for warm starts). Returns false --
-   leaving the previous factorisation and basis in place -- if the basis
-   matrix is (numerically) singular. *)
+(* Rebuild the LU factorisation from the basis columns [cols]. Markowitz
+   ordering inside {!Sparse_lu} replaces the old fewest-nonzeros-first
+   Gauss-Jordan sweep. With [~complete], rows left unpivoted by [cols] are
+   covered by their pinned artificial columns (rank completion for warm
+   starts) -- those artificials all have sign +1 on the warm path, so the
+   unit columns {!Sparse_lu} completes with are exactly the artificial
+   columns. Returns false -- leaving the previous factorisation and basis in
+   place -- if the basis matrix is (numerically) singular. *)
 let refactorise_cols st cols ~complete =
-  let m = st.m in
-  let saved = (st.etas, st.neta, st.base_neta, Array.copy st.basic) in
-  st.etas <- Array.make (m + 16) dummy_eta;
-  st.neta <- 0;
-  let cols =
-    List.sort
-      (fun a b -> compare (Array.length (col_rows st a)) (Array.length (col_rows st b)))
-      cols
+  let cols = Array.of_list cols in
+  let sparse =
+    Array.map (fun j -> (col_rows st j, col_vals st j)) cols
   in
-  let pivoted = Array.make m false in
-  let new_basic = Array.make m (-1) in
-  let w = st.fwork in
-  let pivot_col j =
-    Array.fill w 0 m 0.;
-    let rows = col_rows st j and vals = col_vals st j in
-    for k = 0 to Array.length rows - 1 do
-      w.(rows.(k)) <- vals.(k)
-    done;
-    ftran_vec st w;
-    let best = ref (-1) and best_v = ref 1e-11 in
-    for r = 0 to m - 1 do
-      if not pivoted.(r) then begin
-        let v = abs_float w.(r) in
-        if v > !best_v then begin
-          best := r;
-          best_v := v
-        end
-      end
-    done;
-    if !best < 0 then false
-    else begin
-      push_eta st w !best;
-      pivoted.(!best) <- true;
-      new_basic.(!best) <- j;
-      true
-    end
-  in
-  let ok = List.for_all pivot_col cols in
-  let ok =
-    ok
-    &&
-    if not complete then true
-    else begin
-      let missing = ref [] in
-      for r = m - 1 downto 0 do
-        if not pivoted.(r) then missing := r :: !missing
-      done;
-      List.for_all
-        (fun r ->
-          let aj = st.p.Problem.ncols + r in
-          st.vstat.(aj) <- Basic;
-          pivot_col aj)
-        !missing
-    end
-  in
-  if ok then begin
+  match Sparse_lu.factorise ~m:st.m ~cols:sparse ~complete with
+  | None -> false
+  | Some { Sparse_lu.lu; row_of_col; completed_rows } ->
+    let new_basic = Array.make st.m (-1) in
+    Array.iteri (fun k j -> new_basic.(row_of_col.(k)) <- j) cols;
+    List.iter
+      (fun r ->
+        let aj = st.p.Problem.ncols + r in
+        st.vstat.(aj) <- Basic;
+        new_basic.(r) <- aj)
+      completed_rows;
     st.basic <- new_basic;
-    st.base_neta <- st.neta;
+    st.lu <- Some lu;
     st.acc.refactorisations <- st.acc.refactorisations + 1;
-    ignore (recompute_basics st)
-  end
-  else begin
-    let etas, neta, base_neta, basic = saved in
-    st.etas <- etas;
-    st.neta <- neta;
-    st.base_neta <- base_neta;
-    st.basic <- basic
-  end;
-  ok
+    ignore (recompute_basics st);
+    true
 
 let refactorise st = refactorise_cols st (Array.to_list st.basic) ~complete:false
 
@@ -304,38 +213,101 @@ let reduced_cost st y j =
 
 type pricing_result = No_candidate | Enter of int * float (* variable, direction *)
 
-let price st y =
+(* Direction in which variable [j] may profitably enter; 0. if none. *)
+let entering_dir st j d =
+  match st.vstat.(j) with
+  | Basic -> 0.
+  | _ when st.lb.(j) = st.ub.(j) -> 0. (* fixed: cannot move *)
+  | At_lower -> if d < -.opt_tol then 1. else 0.
+  | At_upper -> if d > opt_tol then -1. else 0.
+  | Free_nonbasic -> if d < -.opt_tol then 1. else if d > opt_tol then -1. else 0.
+
+(* Full Dantzig scan. Returns the best eligible column and refills the
+   candidate list with the [candidate_list_size] most attractive eligible
+   columns (smallest-score slot replaced as better ones appear), so the next
+   iterations can price the short list only. In Bland mode the first
+   eligible index is returned and the list is left alone. *)
+let price_full st y =
+  if st.bland then begin
+    let best = ref No_candidate in
+    (try
+       for j = 0 to st.n - 1 do
+         let dir = entering_dir st j (reduced_cost st y j) in
+         if dir <> 0. then begin
+           best := Enter (j, dir);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !best
+  end
+  else begin
+    let k = Array.length st.cand in
+    let scores = Array.make k 0. in
+    st.ncand <- 0;
+    let min_pos = ref 0 in
+    let best = ref No_candidate and best_score = ref opt_tol in
+    for j = 0 to st.n - 1 do
+      if st.vstat.(j) <> Basic then begin
+        let d = reduced_cost st y j in
+        let dir = entering_dir st j d in
+        if dir <> 0. then begin
+          let score = abs_float d in
+          if score > !best_score then begin
+            best_score := score;
+            best := Enter (j, dir)
+          end;
+          if st.ncand < k then begin
+            st.cand.(st.ncand) <- j;
+            scores.(st.ncand) <- score;
+            if score < scores.(!min_pos) then min_pos := st.ncand;
+            st.ncand <- st.ncand + 1
+          end
+          else if score > scores.(!min_pos) then begin
+            st.cand.(!min_pos) <- j;
+            scores.(!min_pos) <- score;
+            for i = 0 to k - 1 do
+              if scores.(i) < scores.(!min_pos) then min_pos := i
+            done
+          end
+        end
+      end
+    done;
+    !best
+  end
+
+(* Minor pricing pass over the candidate list. Columns that became basic or
+   ineligible are dropped in place; [No_candidate] here only means the list
+   ran dry -- the caller must confirm with a full pass before declaring
+   optimality. *)
+let price_minor st y =
   let best = ref No_candidate and best_score = ref opt_tol in
-  (try
-     for j = 0 to st.n - 1 do
-       match st.vstat.(j) with
-       | Basic -> ()
-       | _ when st.lb.(j) = st.ub.(j) -> () (* fixed: cannot move *)
-       | status ->
-         let d = reduced_cost st y j in
-         let dir =
-           match status with
-           | At_lower -> if d < -.opt_tol then 1. else 0.
-           | At_upper -> if d > opt_tol then -1. else 0.
-           | Free_nonbasic ->
-             if d < -.opt_tol then 1. else if d > opt_tol then -1. else 0.
-           | Basic -> 0.
-         in
-         if dir <> 0. then
-           if st.bland then begin
-             best := Enter (j, dir);
-             raise Exit
-           end
-           else begin
-             let score = abs_float d in
-             if score > !best_score then begin
-               best_score := score;
-               best := Enter (j, dir)
-             end
-           end
-     done
-   with Exit -> ());
+  let keep = ref 0 in
+  for i = 0 to st.ncand - 1 do
+    let j = st.cand.(i) in
+    if st.vstat.(j) <> Basic then begin
+      let d = reduced_cost st y j in
+      let dir = entering_dir st j d in
+      if dir <> 0. then begin
+        st.cand.(!keep) <- j;
+        incr keep;
+        let score = abs_float d in
+        if score > !best_score then begin
+          best_score := score;
+          best := Enter (j, dir)
+        end
+      end
+    end
+  done;
+  st.ncand <- !keep;
   !best
+
+let price st y =
+  if st.bland || st.restoring then price_full st y
+  else
+    match price_minor st y with
+    | Enter _ as e -> e
+    | No_candidate -> price_full st y
 
 type ratio_result =
   | Unbounded_dir
@@ -432,8 +404,13 @@ let pivot st enter dir w = function
     if st.restoring then st.cost.(leaver) <- 0.;
     st.basic.(r) <- enter;
     st.vstat.(enter) <- Basic;
-    (* B' = B E with E's column r = w: one update eta. *)
-    push_eta st w r;
+    (* B' = B E with E's column r = w: one product-form update eta on the
+       factorisation. *)
+    (match st.lu with
+    | Some lu ->
+      Sparse_lu.update lu ~r ~w;
+      st.acc.lu_updates <- st.acc.lu_updates + 1
+    | None -> raise Numerical_restart);
     theta
   | Unbounded_dir -> invalid_arg "pivot: unbounded"
 
@@ -505,7 +482,9 @@ let run_phase st ~max_iterations =
               0.
           in
           st.iterations <- st.iterations + 1;
-          if st.neta - st.base_neta > eta_refactor_limit then ignore (refactorise st);
+          (match st.lu with
+          | Some lu when Sparse_lu.updates lu > lu_update_limit -> ignore (refactorise st)
+          | _ -> ());
           if theta <= 1e-10 then begin
             st.degenerate_run <- st.degenerate_run + 1;
             st.acc.degenerate_pivots <- st.acc.degenerate_pivots + 1;
@@ -541,12 +520,11 @@ let make_state acc (p : Problem.t) ~lb ~ub ~vstat ~xval ~art_sign =
     basic = Array.init m (fun i -> p.Problem.ncols + i);
     vstat;
     xval;
-    etas = Array.make (m + 16) dummy_eta;
-    neta = 0;
-    base_neta = 0;
+    lu = None;
     work = Array.make m 0.;
     rwork = Array.make m 0.;
-    fwork = Array.make m 0.;
+    cand = Array.make candidate_list_size 0;
+    ncand = 0;
     bland = false;
     degenerate_run = 0;
     iterations = 0;
@@ -637,7 +615,7 @@ let warm_state acc (p : Problem.t) (b : Problem.basis) =
     end
   in
   for j = ncols - 1 downto 0 do
-    match b.(j) with
+    match b.Problem.statuses.(j) with
     | Problem.Bs_basic ->
       vstat.(j) <- Basic;
       incr nbasic;
@@ -713,12 +691,13 @@ let restore_feasibility st ~max_iterations =
 (* ------------------------------------------------------------------ *)
 
 let export_basis st =
-  Array.init st.p.Problem.ncols (fun j ->
-      match st.vstat.(j) with
-      | Basic -> Problem.Bs_basic
-      | At_lower -> Problem.Bs_lower
-      | At_upper -> Problem.Bs_upper
-      | Free_nonbasic -> Problem.Bs_free)
+  Problem.basis_of_statuses
+    (Array.init st.p.Problem.ncols (fun j ->
+         match st.vstat.(j) with
+         | Basic -> Problem.Bs_basic
+         | At_lower -> Problem.Bs_lower
+         | At_upper -> Problem.Bs_upper
+         | Free_nonbasic -> Problem.Bs_free))
 
 let finish st ~phase1 ~warm status reason =
   let p = st.p in
@@ -740,6 +719,9 @@ let finish st ~phase1 ~warm status reason =
       bland_activations = a.bland_activations;
       restarts = a.restarts;
       ftran_ms = a.ftran_ms;
+      factor_nnz = (match st.lu with Some lu -> Sparse_lu.nnz lu | None -> 0);
+      factor_fill = (match st.lu with Some lu -> Sparse_lu.fill_in lu | None -> 0);
+      lu_updates = a.lu_updates;
       warm_started = warm;
       status_reason = reason;
     }
@@ -859,10 +841,12 @@ let solve ?max_iterations ?deadline_ms ?basis (p : Problem.t) =
   in
   let warm_result =
     match basis with
-    | Some b when Array.length b = p.Problem.ncols ->
+    | Some b when Array.length b.Problem.statuses = p.Problem.ncols ->
       warm_solve acc p b ~max_iterations ~deadline_at
     | Some _ ->
-      (* Dimension mismatch (e.g. presolve kept a different row set). *)
+      (* Dimension mismatch (e.g. presolve kept a different number of rows;
+         same-count different-set reductions are caught upstream by the
+         shape stamp in [Model.solve]). *)
       acc.restarts <- acc.restarts + 1;
       None
     | None -> None

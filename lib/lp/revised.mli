@@ -1,14 +1,18 @@
 (** Bounded-variable revised primal simplex over a factorised basis.
 
-    The basis inverse is held as a Gauss-Jordan product-form factorisation
-    (an eta file): refactorisation rebuilds the file from the basis columns
-    with partial pivoting, and each pivot appends one update eta. FTRAN and
-    BTRAN apply the file sparsely, so per-iteration cost follows the fill of
-    the eta file and the nonzero structure of the constraint matrix rather
-    than [nrows^2]. Dantzig pricing with a Bland's-rule fallback guards
-    against cycling; numerical drift and eta-file growth trigger
-    refactorisation. Suited to the mid-size sparse problems produced by the
-    FFC formulations (up to a few thousand rows).
+    The basis inverse is held as a sparse LU factorisation ({!Sparse_lu}):
+    refactorisation runs Markowitz-ordered elimination with threshold
+    partial pivoting over the basis columns, and each pivot between
+    refactorisations appends one product-form update eta on top of the fixed
+    L/U factors. FTRAN and BTRAN are sparse triangular solves plus the eta
+    file, so per-iteration cost follows factor fill and the nonzero
+    structure of the constraint matrix rather than [nrows^2]. Pricing is
+    Dantzig over a candidate list (a full scan periodically refills the list
+    with the most attractive columns and minor passes price only those),
+    with a Bland's-rule fallback guarding against cycling; numerical drift
+    and eta-file growth trigger refactorisation. Suited to the mid-size
+    sparse problems produced by the FFC formulations (up to a few thousand
+    rows).
 
     [solve ?basis] warm-starts from a basis snapshot of a previous solve
     with the same column dimension. A rank-deficient or stale basis is

@@ -1,0 +1,69 @@
+(** Sparse LU basis factorisation for the revised simplex.
+
+    Factorises an [m x m] basis matrix given as sparse columns into [L U]
+    with row and column permutations chosen by a restricted Markowitz search
+    (examine the lowest-fill candidate columns, pick the entry minimising
+    [(row_count - 1) * (col_count - 1)]) under threshold partial pivoting
+    (an entry qualifies only if its magnitude is at least [tau] times the
+    largest in its column), so fill-in stays close to the structural minimum
+    while staying numerically safe. FTRAN/BTRAN are sparse triangular
+    solves over the factors; simplex column replacements are absorbed as
+    sparse product-form update etas layered on top of the fixed factors
+    ({!update}), capped by the caller's refactorisation policy.
+
+    Row/position convention: pivoting associates each supplied column with
+    one row ({!factor_result.row_of_col}); [ftran] returns the solution of
+    [B x = b] as a dense vector where entry [r] is the coefficient of the
+    column pivoted at row [r]. This matches the revised simplex invariant
+    "[basic.(r)] is the variable in position [r]". *)
+
+type t
+
+type factor_result = {
+  lu : t;
+  row_of_col : int array;
+      (** [row_of_col.(k)] is the pivot row assigned to supplied column
+          [k]. *)
+  completed_rows : int list;
+      (** rows covered by implicit unit columns (only with [~complete:true]
+          when fewer columns than rows were supplied) *)
+}
+
+val factorise :
+  m:int -> cols:(int array * float array) array -> complete:bool -> factor_result option
+(** Factorise the matrix whose [k]-th column has the given sparse
+    rows/values. With [~complete:false] exactly [m] columns must be supplied
+    and all must pivot; with [~complete:true] at most [m] columns are
+    supplied, all of them must pivot, and any rows left unpivoted are covered
+    by implicit unit columns (reported in [completed_rows]) — the
+    rank-completion used by warm starts. Returns [None] if any supplied
+    column cannot be pivoted (structurally or numerically singular basis). *)
+
+val ftran : t -> float array -> unit
+(** [ftran t w] overwrites the dense vector [w] (length [m]) with
+    [B^-1 w], applying the LU triangular solves and then any update etas
+    oldest-to-newest. Cost follows the factor fill and the nonzero pattern
+    of [w]. *)
+
+val btran : t -> float array -> unit
+(** [btran t y] overwrites [y] with [B^-T y]: update etas transposed
+    newest-to-oldest, then the transposed triangular solves. *)
+
+val update : t -> r:int -> w:float array -> unit
+(** [update t ~r ~w] records the simplex column replacement at pivot row
+    [r], where [w] is the FTRAN'd entering column under the current
+    (updated) factorisation. Appends one sparse product-form eta; the
+    caller's refactorisation policy bounds how many accumulate (see
+    {!updates}). Requires [abs_float w.(r)] comfortably above the pivot
+    tolerance — the caller checks before pivoting. *)
+
+val updates : t -> int
+(** Number of update etas accumulated since factorisation. *)
+
+val nnz : t -> int
+(** Nonzeros in the LU factors (L multipliers + U entries + diagonal). *)
+
+val fill_in : t -> int
+(** [nnz] minus the nonzeros of the supplied basis columns: entries created
+    by elimination (can be negative when cancellation removes more than
+    elimination adds). *)

@@ -29,9 +29,20 @@ let float t bound =
 
 let int t bound =
   assert (bound > 0);
-  (* Keep 62 bits so the value always fits a non-negative native int. *)
-  let x = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
-  x mod bound
+  (* Rejection sampling: [x mod bound] alone over-weights small residues
+     whenever bound does not divide 2^62. Draws past the largest exact
+     multiple of [bound] are discarded (under one expected retry). The draw
+     is 62 bits, so x ranges over [0, max_int] and the range size 2^62 is
+     not itself representable; the acceptance threshold is kept in
+     subtracted form to avoid overflow. *)
+  let r = ((max_int mod bound) + 1) mod bound in
+  (* r = 2^62 mod bound; accept x < 2^62 - r, i.e. x <= max_int - r *)
+  let cutoff = max_int - r in
+  let rec draw () =
+    let x = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+    if x <= cutoff then x mod bound else draw ()
+  in
+  draw ()
 
 let bool t = Int64.logand (int64 t) 1L = 1L
 

@@ -4,20 +4,26 @@ let mean = function
   | [] -> 0.
   | xs -> sum xs /. float_of_int (List.length xs)
 
+(* Sample (n-1) estimator: these are always observed samples of a larger
+   population (simulation runs, solve times), never the full population. *)
 let stddev = function
   | [] | [ _ ] -> 0.
   | xs ->
     let m = mean xs in
-    let var = mean (List.map (fun x -> (x -. m) *. (x -. m)) xs) in
-    sqrt var
+    let ss = sum (List.map (fun x -> (x -. m) *. (x -. m)) xs) in
+    sqrt (ss /. float_of_int (List.length xs - 1))
 
 let sorted_array xs =
   let a = Array.of_list xs in
-  Array.sort compare a;
+  Array.sort Float.compare a;
   a
+
+let reject_nan who xs =
+  if List.exists Float.is_nan xs then invalid_arg (who ^ ": NaN sample")
 
 let percentile p xs =
   if xs = [] then invalid_arg "Stats.percentile: empty";
+  reject_nan "Stats.percentile" xs;
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
   let a = sorted_array xs in
   let n = Array.length a in
@@ -32,18 +38,21 @@ let percentile p xs =
 
 let median xs = percentile 50. xs
 
+(* Totally ordered via [Float.compare] (the polymorphic [min]/[max] silently
+   misorder NaN, letting one poison or vanish from the result). *)
 let minimum = function
   | [] -> invalid_arg "Stats.minimum: empty"
-  | x :: xs -> List.fold_left min x xs
+  | x :: xs -> List.fold_left (fun a b -> if Float.compare a b <= 0 then a else b) x xs
 
 let maximum = function
   | [] -> invalid_arg "Stats.maximum: empty"
-  | x :: xs -> List.fold_left max x xs
+  | x :: xs -> List.fold_left (fun a b -> if Float.compare a b >= 0 then a else b) x xs
 
 type cdf = float array (* sorted samples *)
 
 let cdf_of_samples xs =
   if xs = [] then invalid_arg "Stats.cdf_of_samples: empty";
+  reject_nan "Stats.cdf_of_samples" xs;
   sorted_array xs
 
 let cdf_eval c x =

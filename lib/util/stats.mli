@@ -8,11 +8,13 @@ val mean : float list -> float
 val sum : float list -> float
 
 val stddev : float list -> float
-(** Population standard deviation; 0 on fewer than two samples. *)
+(** Sample standard deviation (n-1 in the denominator); 0 on fewer than two
+    samples. *)
 
 val percentile : float -> float list -> float
 (** [percentile p xs] with [p] in [\[0,100\]], linear interpolation between
-    order statistics. Raises [Invalid_argument] on empty input. *)
+    order statistics. Raises [Invalid_argument] on empty input or when a
+    sample is NaN. *)
 
 val median : float list -> float
 
@@ -23,7 +25,8 @@ type cdf
 (** An empirical cumulative distribution function. *)
 
 val cdf_of_samples : float list -> cdf
-(** Build an empirical CDF. Raises [Invalid_argument] on empty input. *)
+(** Build an empirical CDF. Raises [Invalid_argument] on empty input or when
+    a sample is NaN. *)
 
 val cdf_eval : cdf -> float -> float
 (** [cdf_eval c x] is the fraction of samples [<= x]. *)

@@ -274,8 +274,9 @@ let test_presolve_singleton_rows () =
     ]
   in
   match Presolve.reduce ~lb ~ub ~rows with
-  | Presolve.Reduced { lb; ub; rows } ->
+  | Presolve.Reduced { lb; ub; rows; kept } ->
     Alcotest.(check int) "rows absorbed" 0 (List.length rows);
+    Alcotest.(check int) "kept row set empty" 0 (Array.length kept);
     check_float "ub tightened" 4. ub.(0);
     check_float "lb tightened" 3. lb.(1)
   | Presolve.Infeasible m -> Alcotest.fail m
@@ -288,7 +289,7 @@ let test_presolve_fixed_propagation () =
     [ ([ (0, 1.) ], Problem.Eq, 5.); ([ (0, 1.); (1, 1.) ], Problem.Le, 7.) ]
   in
   match Presolve.reduce ~lb ~ub ~rows with
-  | Presolve.Reduced { lb; ub; rows } ->
+  | Presolve.Reduced { lb; ub; rows; _ } ->
     Alcotest.(check int) "all rows absorbed" 0 (List.length rows);
     check_float "x0 fixed" 5. lb.(0);
     check_float "x0 fixed ub" 5. ub.(0);
@@ -353,6 +354,207 @@ let prop_backends_agree_larger =
       | Model.Deadline_exceeded, _ | _, Model.Deadline_exceeded -> QCheck.assume_fail ()
       | Model.Optimal s1, Model.Optimal s2 ->
         abs_float (Model.objective_value s1 -. Model.objective_value s2) < 1e-4
+      | Model.Infeasible, Model.Infeasible | Model.Unbounded, Model.Unbounded -> true
+      | a, b ->
+        QCheck.Test.fail_reportf "status mismatch: %s vs %s" (status_name a) (status_name b))
+
+(* ------------------------------------------------------------------ *)
+(* Sparse LU: FTRAN/BTRAN residuals under column-replacement updates   *)
+(* ------------------------------------------------------------------ *)
+
+(* Random strictly diagonally dominant sparse columns: guaranteed
+   nonsingular, so [factorise] must succeed and the triangular solves can be
+   checked against the dense matrix directly. *)
+let random_dd_cols rng m =
+  Array.init m (fun k ->
+      let extras =
+        List.init (Ffc_util.Rng.int rng 4) (fun _ ->
+            (Ffc_util.Rng.int rng m, Ffc_util.Rng.uniform rng (-1.) 1.))
+      in
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.replace tbl k (4. +. Ffc_util.Rng.uniform rng 0. 2.);
+      List.iter
+        (fun (r, v) ->
+          if r <> k then
+            Hashtbl.replace tbl r (v +. Option.value ~default:0. (Hashtbl.find_opt tbl r)))
+        extras;
+      let entries = Hashtbl.fold (fun r v acc -> (r, v) :: acc) tbl [] in
+      (Array.of_list (List.map fst entries), Array.of_list (List.map snd entries)))
+
+(* Dense m x m matrix with input column k placed in basis slot
+   [row_of_col.(k)]: the arrangement FTRAN/BTRAN solve against. *)
+let dense_of_cols m cols row_of_col =
+  let b = Array.make_matrix m m 0. in
+  Array.iteri
+    (fun k (rows, vals) ->
+      let slot = row_of_col.(k) in
+      Array.iteri (fun t r -> b.(r).(slot) <- vals.(t)) rows)
+    cols;
+  b
+
+let residual_inf b x rhs =
+  let m = Array.length b in
+  let worst = ref 0. in
+  for i = 0 to m - 1 do
+    let s = ref 0. in
+    for j = 0 to m - 1 do
+      s := !s +. (b.(i).(j) *. x.(j))
+    done;
+    worst := max !worst (abs_float (!s -. rhs.(i)))
+  done;
+  !worst
+
+let residual_inf_t b y rhs =
+  let m = Array.length b in
+  let worst = ref 0. in
+  for j = 0 to m - 1 do
+    let s = ref 0. in
+    for i = 0 to m - 1 do
+      s := !s +. (b.(i).(j) *. y.(i))
+    done;
+    worst := max !worst (abs_float (!s -. rhs.(j)))
+  done;
+  !worst
+
+let test_sparse_lu_residuals () =
+  let rng = Ffc_util.Rng.create 7 in
+  let m = 60 in
+  let cols = random_dd_cols rng m in
+  match Sparse_lu.factorise ~m ~cols ~complete:false with
+  | None -> Alcotest.fail "diagonally dominant matrix reported singular"
+  | Some { Sparse_lu.lu; row_of_col; completed_rows } ->
+    Alcotest.(check (list int)) "full rank, nothing completed" [] completed_rows;
+    let b = dense_of_cols m cols row_of_col in
+    for _ = 1 to 20 do
+      let rhs = Array.init m (fun _ -> Ffc_util.Rng.uniform rng (-5.) 5.) in
+      let x = Array.copy rhs in
+      Sparse_lu.ftran lu x;
+      Alcotest.(check bool) "ftran residual" true (residual_inf b x rhs < 1e-8);
+      let y = Array.copy rhs in
+      Sparse_lu.btran lu y;
+      Alcotest.(check bool) "btran residual" true (residual_inf_t b y rhs < 1e-8)
+    done
+
+(* Replace basis columns one at a time through [update] (the product-form
+   eta path the simplex takes between refactorisations) and verify the
+   factorisation still solves against the mutated dense matrix. *)
+let test_sparse_lu_update_residuals () =
+  let rng = Ffc_util.Rng.create 11 in
+  let m = 50 in
+  let cols = random_dd_cols rng m in
+  match Sparse_lu.factorise ~m ~cols ~complete:false with
+  | None -> Alcotest.fail "factorise failed"
+  | Some { Sparse_lu.lu; row_of_col; _ } ->
+    let b = dense_of_cols m cols row_of_col in
+    let applied = ref 0 in
+    for step = 1 to 30 do
+      let r = Ffc_util.Rng.int rng m in
+      (* New column: strong weight on slot r keeps the replacement
+         well-conditioned. *)
+      let a = Array.make m 0. in
+      a.(r) <- 3. +. Ffc_util.Rng.uniform rng 0. 1.;
+      for _ = 1 to Ffc_util.Rng.int rng 4 do
+        let i = Ffc_util.Rng.int rng m in
+        if i <> r then a.(i) <- Ffc_util.Rng.uniform rng (-0.5) 0.5
+      done;
+      let w = Array.copy a in
+      Sparse_lu.ftran lu w;
+      (* A tiny update pivot means the replacement is near-singular; the
+         simplex refactorises in that case rather than stacking an
+         ill-conditioned eta, so the residual contract only covers healthy
+         pivots. *)
+      if abs_float w.(r) > 1e-3 then begin
+        incr applied;
+        Sparse_lu.update lu ~r ~w;
+        for i = 0 to m - 1 do
+          b.(i).(r) <- a.(i)
+        done;
+        let rhs = Array.init m (fun _ -> Ffc_util.Rng.uniform rng (-5.) 5.) in
+        let x = Array.copy rhs in
+        Sparse_lu.ftran lu x;
+        Alcotest.(check bool)
+          (Printf.sprintf "ftran residual after %d updates (step %d)" !applied step)
+          true
+          (residual_inf b x rhs < 1e-6);
+        let y = Array.copy rhs in
+        Sparse_lu.btran lu y;
+        Alcotest.(check bool)
+          (Printf.sprintf "btran residual after %d updates (step %d)" !applied step)
+          true
+          (residual_inf_t b y rhs < 1e-6)
+      end
+    done;
+    Alcotest.(check int) "eta file length" !applied (Sparse_lu.updates lu);
+    Alcotest.(check bool)
+      (Printf.sprintf "enough updates exercised (%d)" !applied)
+      true (!applied >= 20)
+
+(* Rank completion: feed fewer columns than rows with [~complete] and check
+   the unpivoted rows behave as unit columns. *)
+let test_sparse_lu_rank_completion () =
+  let rng = Ffc_util.Rng.create 13 in
+  let m = 20 in
+  let full = random_dd_cols rng m in
+  let cols = Array.sub full 0 12 in
+  match Sparse_lu.factorise ~m ~cols ~complete:true with
+  | None -> Alcotest.fail "completion failed"
+  | Some { Sparse_lu.lu; row_of_col; completed_rows } ->
+    Alcotest.(check int) "completed count" (m - 12) (List.length completed_rows);
+    let b = Array.make_matrix m m 0. in
+    List.iter (fun r -> b.(r).(r) <- 1.) completed_rows;
+    Array.iteri
+      (fun k (rows, vals) ->
+        let slot = row_of_col.(k) in
+        Array.iteri (fun t r -> b.(r).(slot) <- vals.(t)) rows)
+      cols;
+    let rhs = Array.init m (fun _ -> Ffc_util.Rng.uniform rng (-3.) 3.) in
+    let x = Array.copy rhs in
+    Sparse_lu.ftran lu x;
+    Alcotest.(check bool) "completed ftran residual" true (residual_inf b x rhs < 1e-8)
+
+(* Singular and near-singular inputs must be rejected, not silently
+   factorised into garbage. *)
+let test_sparse_lu_rejects_singular () =
+  let dup = ([| 0; 1 |], [| 1.; 2. |]) in
+  let cols = [| dup; dup; ([| 2 |], [| 1. |]) |] in
+  (match Sparse_lu.factorise ~m:3 ~cols ~complete:false with
+  | None -> ()
+  | Some _ -> Alcotest.fail "duplicate columns accepted");
+  let tiny = [| ([| 0 |], [| 1e-13 |]); ([| 1 |], [| 1. |]) |] in
+  match Sparse_lu.factorise ~m:2 ~cols:tiny ~complete:false with
+  | None -> ()
+  | Some _ -> Alcotest.fail "sub-tolerance pivot accepted"
+
+(* Degenerate shapes: duplicated rows, zero right-hand sides and parallel
+   constraints produce heavily degenerate bases; the LU-backed revised
+   simplex must still agree with the tableau oracle. *)
+let degenerate_lp_gen =
+  let open QCheck.Gen in
+  let* spec = random_lp_gen in
+  let* dup_mask = list_repeat (List.length spec.rows) bool in
+  let* zero_mask = list_repeat (List.length spec.rows) bool in
+  let rows =
+    List.concat
+      (List.map2
+         (fun (terms, sense, rhs) (dup, zero) ->
+           let rhs = if zero then 0. else rhs in
+           let row = (terms, sense, rhs) in
+           if dup then [ row; row ] else [ row ])
+         spec.rows
+         (List.combine dup_mask zero_mask))
+  in
+  return { spec with rows }
+
+let prop_degenerate_backends_agree =
+  QCheck.Test.make ~count:300 ~name:"backends agree on degenerate instances"
+    (QCheck.make ~print:(fun _ -> "<degenerate lp>") degenerate_lp_gen)
+    (fun spec ->
+      let m, _ = build_random_lp spec in
+      match (Model.solve ~backend:`Revised m, Model.solve ~backend:`Dense_tableau m) with
+      | Model.Iteration_limit, _ | _, Model.Iteration_limit -> QCheck.assume_fail ()
+      | Model.Deadline_exceeded, _ | _, Model.Deadline_exceeded -> QCheck.assume_fail ()
+      | Model.Optimal s1, Model.Optimal s2 ->
+        abs_float (Model.objective_value s1 -. Model.objective_value s2) < 1e-5
       | Model.Infeasible, Model.Infeasible | Model.Unbounded, Model.Unbounded -> true
       | a, b ->
         QCheck.Test.fail_reportf "status mismatch: %s vs %s" (status_name a) (status_name b))
@@ -463,7 +665,7 @@ let test_warm_dimension_mismatch () =
   let m = Model.create () in
   let x = Model.add_var ~ub:5. m in
   Model.maximize m (Expr.var x);
-  let bogus = Array.make 3 Problem.Bs_lower in
+  let bogus = Problem.basis_of_statuses (Array.make 3 Problem.Bs_lower) in
   match Model.solve ~backend:`Revised ~presolve:false ~warm_start:bogus m with
   | Model.Optimal s ->
     check_float "objective" 5. (Model.objective_value s);
@@ -471,6 +673,112 @@ let test_warm_dimension_mismatch () =
     Alcotest.(check bool) "not warm started" false st.Problem.warm_started;
     Alcotest.(check bool) "mismatch recorded" true (st.Problem.restarts >= 1)
   | _ -> Alcotest.fail "expected optimal"
+
+(* A perturbed warm re-solve big enough that the eta file passes the update
+   limit: the warm path must survive an LU refactorisation mid-solve and
+   still reach the oracle optimum. *)
+let test_warm_survives_refactor () =
+  let rng = Ffc_util.Rng.create 97 in
+  let nvars = 120 and nrows = 160 in
+  let coeffs =
+    Array.init nrows (fun _ -> Array.init nvars (fun _ -> Ffc_util.Rng.uniform rng 0. 3.))
+  in
+  let build ~rhs_scale ~objw =
+    let m = Model.create () in
+    let vars = Array.init nvars (fun _ -> Model.add_var ~ub:20. m) in
+    Array.iteri
+      (fun i row ->
+        let lhs =
+          Expr.sum (Array.to_list (Array.mapi (fun j v -> Expr.var ~coeff:row.(j) v) vars))
+        in
+        Model.le m lhs (Expr.const (rhs_scale *. (25. +. float_of_int (i mod 5)))))
+      coeffs;
+    Model.maximize m
+      (Expr.sum (Array.to_list (Array.mapi (fun j v -> Expr.var ~coeff:(objw j) v) vars)));
+    m
+  in
+  let base =
+    match Model.solve ~backend:`Revised ~presolve:false (build ~rhs_scale:1.0 ~objw:(fun _ -> 1.)) with
+    | Model.Optimal s -> s
+    | _ -> Alcotest.fail "base solve not optimal"
+  in
+  let basis = Option.get (Model.solution_basis base) in
+  (* Reweighting the objective (not just scaling the rhs, which leaves the
+     old basis dual feasible) forces the warm solve through enough pivots to
+     exhaust the eta-file update limit. *)
+  let perturbed () = build ~rhs_scale:0.5 ~objw:(fun j -> 1. +. (2. *. float_of_int (j mod 4))) in
+  match Model.solve ~backend:`Revised ~presolve:false ~warm_start:basis (perturbed ()) with
+  | Model.Optimal warm ->
+    let ws = Model.solution_stats warm in
+    Alcotest.(check bool) "warm accepted" true ws.Problem.warm_started;
+    Alcotest.(check bool)
+      (Printf.sprintf "refactorised at least twice (got %d)" ws.Problem.refactorisations)
+      true
+      (ws.Problem.refactorisations >= 2);
+    (match Model.solve ~backend:`Dense_tableau ~presolve:false (perturbed ()) with
+    | Model.Optimal oracle ->
+      check_float "matches oracle after refactor"
+        (Model.objective_value oracle)
+        (Model.objective_value warm)
+    | _ -> Alcotest.fail "oracle not optimal")
+  | _ -> Alcotest.fail "warm solve not optimal"
+
+(* Two models with the same variable count whose presolve reductions keep
+   the same NUMBER of rows but a different row set: the basis recorded
+   against one must be dropped (shape stamp mismatch), not applied to the
+   other's slack layout. *)
+let test_warm_presolve_shape_mismatch () =
+  let build_a () =
+    (* Row 0 kept, row 1 a singleton absorbed into bounds. *)
+    let m = Model.create () in
+    let x0 = Model.add_var ~ub:10. m in
+    let x1 = Model.add_var ~ub:10. m in
+    Model.le m (Expr.add (Expr.var x0) (Expr.var x1)) (Expr.const 10.);
+    Model.le m (Expr.var x1) (Expr.const 3.);
+    Model.maximize m (Expr.add (Expr.var ~coeff:2. x0) (Expr.var x1));
+    m
+  in
+  let build_b () =
+    (* Same variable count; now row 0 is the absorbed singleton and row 1 is
+       kept -- same kept-row count, different row set. *)
+    let m = Model.create () in
+    let x0 = Model.add_var ~ub:10. m in
+    let x1 = Model.add_var ~ub:10. m in
+    Model.le m (Expr.var x0) (Expr.const 3.);
+    Model.le m (Expr.add (Expr.var x0) (Expr.var x1)) (Expr.const 10.);
+    Model.maximize m (Expr.add (Expr.var ~coeff:2. x0) (Expr.var x1));
+    m
+  in
+  let basis =
+    match Model.solve ~backend:`Revised ~presolve:true (build_a ()) with
+    | Model.Optimal s -> Option.get (Model.solution_basis s)
+    | _ -> Alcotest.fail "model A not optimal"
+  in
+  (* Same-shaped re-solve accepts the stamped basis... *)
+  (match Model.solve ~backend:`Revised ~presolve:true ~warm_start:basis (build_a ()) with
+  | Model.Optimal s ->
+    Alcotest.(check bool) "same shape accepted" true
+      (Model.solution_stats s).Problem.warm_started
+  | _ -> Alcotest.fail "re-solve of A not optimal");
+  (* ...and the different reduction rejects it with a recorded reason. *)
+  match Model.solve ~backend:`Revised ~presolve:true ~warm_start:basis (build_b ()) with
+  | Model.Optimal s ->
+    (* B's optimum: x0 = 3 (singleton bound), x1 = 7 (row keeps x0+x1 <= 10),
+       objective 2*3 + 7 = 13. *)
+    check_float "objective" 13. (Model.objective_value s);
+    let st = Model.solution_stats s in
+    Alcotest.(check bool) "warm basis dropped" false st.Problem.warm_started;
+    Alcotest.(check bool) "restart recorded" true (st.Problem.restarts >= 1);
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    let mentions_mismatch = contains st.Problem.status_reason "mismatch" in
+    Alcotest.(check bool)
+      (Printf.sprintf "status_reason mentions mismatch (got %S)" st.Problem.status_reason)
+      true mentions_mismatch
+  | _ -> Alcotest.fail "model B not optimal"
 
 let test_printers () =
   let m = Model.create ~name:"demo" () in
@@ -526,12 +834,22 @@ let () =
           QCheck_alcotest.to_alcotest prop_backends_agree;
           QCheck_alcotest.to_alcotest prop_feasible;
           QCheck_alcotest.to_alcotest prop_backends_agree_larger;
+          QCheck_alcotest.to_alcotest prop_degenerate_backends_agree;
+        ] );
+      ( "sparse-lu",
+        [
+          case "triangular solve residuals" test_sparse_lu_residuals;
+          case "residuals under column updates" test_sparse_lu_update_residuals;
+          case "rank completion" test_sparse_lu_rank_completion;
+          case "rejects singular bases" test_sparse_lu_rejects_singular;
         ] );
       ( "warm-start",
         [
           QCheck_alcotest.to_alcotest prop_warm_agrees;
           case "basis reuse cuts iterations" test_warm_cuts_iterations;
           case "dimension mismatch falls back" test_warm_dimension_mismatch;
+          case "warm survives LU refactorisation" test_warm_survives_refactor;
+          case "presolve row-set change drops basis" test_warm_presolve_shape_mismatch;
         ] );
       ("printers", [ case "names and formatters" test_printers ]);
     ]
