@@ -1,0 +1,6 @@
+let () =
+  (* zero-length column: all values filtered (explicit zeros) *)
+  let cols = [| ([|0|], [|0.|]); ([|1|], [|1.|]) |] in
+  (match Ffc_lp.Sparse_lu.factorise ~m:2 ~cols ~complete:false with
+   | None -> print_endline "OK: returned None"
+   | Some _ -> print_endline "BAD: accepted")
