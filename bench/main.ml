@@ -1460,6 +1460,44 @@ let southbound () =
   if not (ok1 && ok2 && ok3) then failwith "southbound: kc/retry contract violated"
 
 (* ------------------------------------------------------------------ *)
+(* Differential fuzz smoke (CI gate)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Seeded differential-fuzzing campaign over every oracle in lib/check.
+   The seed is fixed so CI failures are reproducible with
+   `ffc fuzz --seed 42`; on a finding the minimal repro snippets are
+   written to FUZZ_repro.ml and the run fails. *)
+let fuzz () =
+  section "fuzz: seeded differential campaign (lib/check oracles)";
+  let module Fuzz = Ffc_check.Fuzz in
+  let count = if !fast then 60 else 300 in
+  let time_budget_ms = if !fast then 20_000. else 120_000. in
+  let r = Fuzz.run ~seed:42 ~count ~time_budget_ms ~oracles:(Ffc_check.Oracles.all ()) () in
+  Format.printf "%a@." Fuzz.pp_report r;
+  let starved =
+    List.filter (fun (o : Fuzz.oracle_report) -> o.Fuzz.exercised = 0) r.Fuzz.oracles
+  in
+  (match Fuzz.failures r with
+  | [] -> ()
+  | fs ->
+    let oc = open_out "FUZZ_repro.ml" in
+    List.iteri
+      (fun i (f : Fuzz.finding) ->
+        Printf.fprintf oc "(* finding %d: oracle %s, seed %d, instance %d\n   %s *)\n%s\n" i
+          f.Fuzz.f_oracle f.Fuzz.f_seed f.Fuzz.f_index f.Fuzz.min_message f.Fuzz.repro)
+      fs;
+    close_out oc;
+    Printf.printf "wrote FUZZ_repro.ml (%d findings)\n" (List.length fs));
+  if starved <> [] then
+    failwith
+      (Printf.sprintf "fuzz: oracle(s) never exercised: %s"
+         (String.concat ", " (List.map (fun (o : Fuzz.oracle_report) -> o.Fuzz.o_name) starved)));
+  if Fuzz.failures r <> [] then
+    failwith
+      (Printf.sprintf "fuzz: %d finding(s), repros in FUZZ_repro.ml"
+         (List.length (Fuzz.failures r)))
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1484,6 +1522,7 @@ let experiments =
     ("lp-warm", lp_warm);
     ("resilience", resilience);
     ("southbound", southbound);
+    ("fuzz", fuzz);
   ]
 
 let () =

@@ -261,6 +261,38 @@ let verify_cmd network seed sites scale kc ke kv rescale_aware =
         (Enumerate.verify_combined input ~old_alloc:prev ~new_alloc:r.Ffc.alloc ~protection)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd seed count budget_ms oracles repro_out =
+  let module Fuzz = Ffc_check.Fuzz in
+  let oracles =
+    match oracles with
+    | [] -> Ffc_check.Oracles.all ()
+    | names -> (
+      match Ffc_check.Oracles.select names with
+      | Ok os -> os
+      | Error e -> failwith e)
+  in
+  let report = Fuzz.run ~seed ~count ?time_budget_ms:budget_ms ~oracles () in
+  Format.printf "%a@." Fuzz.pp_report report;
+  match Fuzz.failures report with
+  | [] -> ()
+  | findings ->
+    (* Minimal repros as a runnable file for bug reports / CI artifacts. *)
+    let oc = open_out repro_out in
+    List.iteri
+      (fun i (f : Fuzz.finding) ->
+        Printf.fprintf oc
+          "(* finding %d: oracle %s, seed %d, instance %d\n   %s *)\n%s\n" i f.Fuzz.f_oracle
+          f.Fuzz.f_seed f.Fuzz.f_index f.Fuzz.min_message f.Fuzz.repro)
+      findings;
+    close_out oc;
+    Printf.printf "%d finding(s); minimal repros written to %s\n" (List.length findings)
+      repro_out;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner plumbing                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -342,6 +374,28 @@ let rescale_aware =
 let verify_t =
   Term.(const verify_cmd $ network $ seed $ sites $ scale $ kc $ ke $ kv $ rescale_aware)
 
+let fuzz_count =
+  Arg.(value & opt int 200 & info [ "count" ] ~doc:"Instances per oracle")
+
+let fuzz_budget =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget-ms" ] ~doc:"Wall-clock budget for the whole campaign (milliseconds)")
+
+let fuzz_oracles =
+  Arg.(
+    value & opt (list string) []
+    & info [ "oracles" ] ~doc:"Comma-separated subset of lp,lu,ffc,sim (default: all)")
+
+let fuzz_repro_out =
+  Arg.(
+    value & opt string "FUZZ_repro.ml"
+    & info [ "repro-out" ] ~doc:"Where to write minimal repro snippets on failure")
+
+let fuzz_t =
+  Term.(const fuzz_cmd $ seed $ fuzz_count $ fuzz_budget $ fuzz_oracles $ fuzz_repro_out)
+
 let cmds =
   [
     Cmd.v (Cmd.info "topo" ~doc:"Print a generated network") topo_t;
@@ -354,6 +408,10 @@ let cmds =
       (Cmd.info "verify"
          ~doc:"Solve FFC and exhaustively verify the guarantee on a small network")
       verify_t;
+    Cmd.v
+      (Cmd.info "fuzz"
+         ~doc:"Differential fuzzing of the LP/FFC/simulator pipeline with shrinking")
+      fuzz_t;
   ]
 
 let () =

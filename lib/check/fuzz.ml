@@ -1,0 +1,157 @@
+module Rng = Ffc_util.Rng
+module Clock = Ffc_util.Clock
+
+type verdict = Pass | Skip of string | Fail of string
+
+type 'a spec = {
+  name : string;
+  generate : Rng.t -> 'a;
+  test : 'a -> verdict;
+  shrink : 'a -> 'a list;
+  repro : 'a -> string;
+}
+
+type oracle = Oracle : 'a spec -> oracle
+
+let oracle ~name ~generate ~test ~shrink ~repro =
+  Oracle { name; generate; test; shrink; repro }
+
+let oracle_name (Oracle s) = s.name
+
+type finding = {
+  f_oracle : string;
+  f_seed : int;
+  f_index : int;
+  message : string;
+  min_message : string;
+  shrink_steps : int;
+  repro : string;
+}
+
+type oracle_report = {
+  o_name : string;
+  exercised : int;
+  skipped : int;
+  findings : finding list;
+}
+
+type report = { r_seed : int; elapsed_ms : float; oracles : oracle_report list }
+
+(* Any exception escaping an oracle is itself a bug in the system under
+   test (the oracles only call public solver/simulator entry points), so it
+   is folded into the verdict rather than aborting the campaign. *)
+let run_test test x =
+  match test x with
+  | v -> v
+  | exception e -> Fail ("crash: " ^ Printexc.to_string e)
+
+let category msg =
+  match String.index_opt msg ':' with
+  | Some i -> String.sub msg 0 i
+  | None -> msg
+
+(* Greedy shrinking: take the first candidate that still fails *in the same
+   category* (message prefix up to ':'), recurse from there. Category
+   preservation matters: dropping, say, the zero column from an instance
+   often still fails, but for a different reason, and the resulting "minimal"
+   repro would be misleading. The attempt budget bounds total oracle calls,
+   not successful steps. *)
+let shrink_budget = 500
+
+let minimise ~test ~shrink x0 msg0 =
+  let budget = ref shrink_budget in
+  let cat0 = category msg0 in
+  let rec go x msg steps =
+    let rec first = function
+      | [] -> None
+      | c :: rest ->
+        if !budget <= 0 then None
+        else begin
+          decr budget;
+          match run_test test c with
+          | Fail m when category m = cat0 -> Some (c, m)
+          | _ -> first rest
+        end
+    in
+    match first (shrink x) with
+    | Some (c, m) -> go c m (steps + 1)
+    | None -> (x, msg, steps)
+  in
+  go x0 msg0 0
+
+(* Shrinking each failure is expensive; after a few findings per oracle the
+   rest are almost certainly the same bug. *)
+let max_findings_per_oracle = 3
+
+let run ?(seed = 42) ?(count = 100) ?time_budget_ms ~oracles () =
+  let t0 = Clock.now_ms () in
+  let master = Rng.create seed in
+  (* One independent stream per oracle, split in listing order, then one
+     split per instance: oracle k's instance i is a pure function of
+     (seed, k, i), regardless of how many draws other oracles made or where
+     the time budget truncated them. *)
+  let streams = List.map (fun o -> (o, Rng.split master)) oracles in
+  let out_of_time () =
+    match time_budget_ms with
+    | Some b -> Clock.since_ms t0 > b
+    | None -> false
+  in
+  let oracles =
+    List.map
+      (fun (Oracle s, stream) ->
+        let exercised = ref 0 and skipped = ref 0 in
+        let findings = ref [] in
+        (try
+           for i = 0 to count - 1 do
+             if out_of_time () || List.length !findings >= max_findings_per_oracle
+             then raise Exit;
+             let rng = Rng.split stream in
+             let x = s.generate rng in
+             match run_test s.test x with
+             | Pass -> incr exercised
+             | Skip _ -> incr skipped
+             | Fail message ->
+               incr exercised;
+               let xmin, min_message, shrink_steps =
+                 minimise ~test:s.test ~shrink:s.shrink x message
+               in
+               findings :=
+                 {
+                   f_oracle = s.name;
+                   f_seed = seed;
+                   f_index = i;
+                   message;
+                   min_message;
+                   shrink_steps;
+                   repro = s.repro xmin;
+                 }
+                 :: !findings
+           done
+         with Exit -> ());
+        {
+          o_name = s.name;
+          exercised = !exercised;
+          skipped = !skipped;
+          findings = List.rev !findings;
+        })
+      streams
+  in
+  { r_seed = seed; elapsed_ms = Clock.since_ms t0; oracles }
+
+let failures r = List.concat_map (fun o -> o.findings) r.oracles
+
+let pp_finding ppf (f : finding) =
+  Format.fprintf ppf
+    "@[<v>oracle %s, seed %d, instance %d:@,  %s@,  after %d shrink steps: %s@,\
+     --- minimal repro ---@,%s@]"
+    f.f_oracle f.f_seed f.f_index f.message f.shrink_steps f.min_message f.repro
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>fuzz seed %d (%.0f ms)@," r.r_seed r.elapsed_ms;
+  List.iter
+    (fun o ->
+      Format.fprintf ppf "  %-4s exercised %4d  skipped %3d  failures %d@,"
+        o.o_name o.exercised o.skipped (List.length o.findings))
+    r.oracles;
+  List.iter (fun f -> Format.fprintf ppf "%a@," pp_finding f) (failures r);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,86 @@
+(** Differential fuzzing driver.
+
+    An {!oracle} packages an instance generator, a property test returning a
+    {!verdict}, a shrinker and a repro-snippet printer for one instance
+    family. {!run} draws deterministic instance streams (one
+    {!Ffc_util.Rng.split} per oracle off a master seed, one split per
+    instance), executes each oracle, and greedily shrinks every failure to a
+    minimal reproducer while preserving the failure category.
+
+    Failure messages are namespaced by category: everything before the first
+    [':'] (e.g. ["crash"], ["residual"], ["guarantee"]) identifies the kind
+    of breakage. Shrinking only accepts candidates failing in the {e same}
+    category, so a minimal repro demonstrates the originally observed bug
+    rather than whatever else a smaller instance happens to trip over. *)
+
+type verdict =
+  | Pass
+  | Skip of string  (** instance not applicable (e.g. too large for the exhaustive oracle) *)
+  | Fail of string  (** ["category: detail"] *)
+
+type oracle
+
+val oracle :
+  name:string ->
+  generate:(Ffc_util.Rng.t -> 'a) ->
+  test:('a -> verdict) ->
+  shrink:('a -> 'a list) ->
+  repro:('a -> string) ->
+  oracle
+
+val oracle_name : oracle -> string
+
+type finding = {
+  f_oracle : string;
+  f_seed : int;  (** master seed of the campaign *)
+  f_index : int;  (** instance index within the oracle's stream *)
+  message : string;  (** failure message of the original instance *)
+  min_message : string;  (** failure message of the shrunk instance *)
+  shrink_steps : int;
+  repro : string;  (** runnable OCaml snippet reproducing the shrunk failure *)
+}
+
+type oracle_report = {
+  o_name : string;
+  exercised : int;  (** instances that ran to a [Pass]/[Fail] verdict *)
+  skipped : int;
+  findings : finding list;
+}
+
+type report = { r_seed : int; elapsed_ms : float; oracles : oracle_report list }
+
+val run_test : ('a -> verdict) -> 'a -> verdict
+(** Apply a property test, converting an escaped exception into
+    [Fail "crash: ..."]. *)
+
+val category : string -> string
+(** Failure category: prefix up to the first [':']. *)
+
+val minimise :
+  test:('a -> verdict) -> shrink:('a -> 'a list) -> 'a -> string -> 'a * string * int
+(** [minimise ~test ~shrink x msg] greedily shrinks a failing instance,
+    accepting only candidates that fail in [category msg]; returns the
+    minimal instance, its message and the number of successful shrink
+    steps. Bounded by a fixed total attempt budget. *)
+
+val run :
+  ?seed:int ->
+  ?count:int ->
+  ?time_budget_ms:float ->
+  oracles:oracle list ->
+  unit ->
+  report
+(** Run up to [count] instances per oracle (default 100, seed 42). With
+    [time_budget_ms] the campaign stops drawing new instances once the
+    budget elapses — truncation only shortens each oracle's instance
+    stream, it never changes which instance a given (seed, oracle, index)
+    denotes. Each oracle stops after a few findings (shrinking dominates
+    cost, and further failures are almost always the same bug). *)
+
+val failures : report -> finding list
+
+val pp_finding : Format.formatter -> finding -> unit
+
+val pp_report : Format.formatter -> report -> unit
+(** Per-oracle exercised/skipped/failure counts followed by every finding
+    with its minimal repro snippet. *)

@@ -1,0 +1,549 @@
+(* The differential and invariant oracles run by the fuzzing harness.
+
+   Each oracle checks a property that must hold for *every* instance, using
+   an independent reference: a second solver backend, a dense linear-algebra
+   reconstruction, the exhaustive fault-case enumerator, or a
+   reimplementation of the accounting being tested. Failure messages are
+   prefixed with a category (up to the first ':') so shrinking preserves the
+   failure kind; see {!Fuzz.category}. *)
+
+open Ffc_lp
+open Ffc_net
+open Ffc_core
+module Rng = Ffc_util.Rng
+
+let failf fmt = Printf.ksprintf (fun s -> Fuzz.Fail s) fmt
+
+(* ------------------------------------------------------------------ *)
+(* LP: revised (with and without presolve) vs dense tableau            *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_label = function
+  | Model.Optimal _ -> "optimal"
+  | Model.Infeasible -> "infeasible"
+  | Model.Unbounded -> "unbounded"
+  | Model.Iteration_limit -> "iteration-limit"
+  | Model.Deadline_exceeded -> "deadline"
+
+let obj_close a b = abs_float (a -. b) <= 1e-5 *. (1. +. max (abs_float a) (abs_float b))
+
+(* Largest relative constraint/bound violation of a point. Used at two
+   scales: [1e-6] is the loose acceptance matching solver feasibility
+   tolerances, [1e-10] is the strict level that certifies a point as a
+   genuine witness when adjudicating a disagreement -- adversarial
+   instances contain near-parallel rows whose exact optimum is ill-defined
+   at solver tolerance, and a mismatch only proves a bug if the winning
+   point satisfies the instance much more tightly than tolerance. *)
+let lp_violation ?(with_mass = true) (t : Gen.lp) x =
+  let worst = ref 0. in
+  Array.iteri
+    (fun j v ->
+      let scale = 1. +. abs_float v in
+      let over = max (t.Gen.lb.(j) -. v) (v -. t.Gen.ub.(j)) in
+      if over /. scale > !worst then worst := over /. scale)
+    x;
+  List.iter
+    (fun (r : Gen.lp_row) ->
+      let lhs = ref 0. and mass = ref 0. in
+      Array.iteri
+        (fun j c ->
+          lhs := !lhs +. (c *. x.(j));
+          mass := !mass +. abs_float (c *. x.(j)))
+        r.Gen.coeffs;
+      let scale =
+        1. +. abs_float r.Gen.rhs +. (if with_mass then !mass else 0.)
+      in
+      let viol =
+        match r.Gen.sense with
+        | Gen.Le -> !lhs -. r.Gen.rhs
+        | Gen.Ge -> r.Gen.rhs -. !lhs
+        | Gen.Eq -> abs_float (!lhs -. r.Gen.rhs)
+      in
+      if viol /. scale > !worst then worst := viol /. scale)
+    t.Gen.rows;
+  !worst
+
+(* The strict certificate deliberately drops the term-mass from the row
+   scale: a solver exploiting its 1e-6 row tolerance at a large-magnitude
+   point would otherwise have its (absolute ~1e-7) residual diluted below
+   the strict threshold, certifying a tolerance artifact as a witness. *)
+let strictly_feasible t x = lp_violation ~with_mass:false t x <= 1e-10
+let point t xs sol = Array.init (Gen.lp_nvars t) (fun j -> Model.value sol xs.(j))
+
+(* Relax the inequality right-hand sides a little so the warm-started
+   re-solve starts from a near-optimal but non-final basis. *)
+let relax_lp (t : Gen.lp) =
+  {
+    t with
+    Gen.rows =
+      List.map
+        (fun (r : Gen.lp_row) ->
+          match r.Gen.sense with
+          | Gen.Le -> { r with Gen.rhs = r.Gen.rhs +. 0.125 }
+          | Gen.Ge -> { r with Gen.rhs = r.Gen.rhs -. 0.125 }
+          | Gen.Eq -> r)
+        t.Gen.rows;
+  }
+
+let budget_outcome = function
+  | Model.Iteration_limit | Model.Deadline_exceeded -> true
+  | _ -> false
+
+let lp_test (t : Gen.lp) =
+  let m, xs = Gen.lp_model t in
+  let o_rev = Model.solve ~backend:`Revised m in
+  let o_raw = Model.solve ~backend:`Revised ~presolve:false m in
+  let o_dense = Model.solve ~backend:`Dense_tableau m in
+  if budget_outcome o_rev || budget_outcome o_raw || budget_outcome o_dense then
+    Fuzz.Skip "budget outcome"
+  else begin
+    let labels =
+      [ outcome_label o_rev; outcome_label o_raw; outcome_label o_dense ]
+    in
+    let describe () =
+      Printf.sprintf "revised=%s nopresolve=%s dense=%s" (List.nth labels 0)
+        (List.nth labels 1) (List.nth labels 2)
+    in
+    let sols =
+      List.filter_map
+        (function Model.Optimal s -> Some s | _ -> None)
+        [ o_rev; o_raw; o_dense ]
+    in
+    let strict_witness () =
+      List.exists (fun s -> strictly_feasible t (point t xs s)) sols
+    in
+    if List.exists (( <> ) (List.hd labels)) labels then begin
+      (* Status disagreement: flag only with a strict witness against an
+         infeasible verdict, or when no huge-optimum/unbounded ambiguity
+         explains it. *)
+      let has l = List.mem l labels in
+      if has "infeasible" && sols <> [] then
+        if strict_witness () then failf "status-mismatch: %s" (describe ())
+        else Fuzz.Skip "ill-conditioned (loose witness only)"
+      else if has "unbounded" && sols <> [] then
+        if List.exists (fun s -> abs_float (Model.objective_value s) > 1e6) sols
+        then Fuzz.Skip "ill-conditioned (huge optimum vs unbounded)"
+        else failf "status-mismatch: %s" (describe ())
+      else failf "status-mismatch: %s" (describe ())
+    end
+    else
+      match (o_rev, o_raw, o_dense) with
+      | Model.Optimal s1, Model.Optimal s2, Model.Optimal s3 ->
+        let v1 = Model.objective_value s1
+        and v2 = Model.objective_value s2
+        and v3 = Model.objective_value s3 in
+        let viol =
+          List.find_map
+            (fun (name, s) ->
+              let v = lp_violation t (point t xs s) in
+              if v > 1e-6 then Some (name, v) else None)
+            [ ("revised", s1); ("nopresolve", s2); ("dense", s3) ]
+        in
+        (match viol with
+         | Some (name, v) ->
+           failf "feasibility: %s solution violates the instance by %.3g" name v
+         | None ->
+           if not (obj_close v1 v3 && obj_close v2 v3 && obj_close v1 v2) then begin
+             (* Only a strictly feasible point at the best value proves the
+                others suboptimal. *)
+             let best = max v1 (max v2 v3) in
+             let proves =
+               List.exists
+                 (fun s ->
+                   Model.objective_value s >= best -. (1e-7 *. (1. +. abs_float best))
+                   && strictly_feasible t (point t xs s))
+                 sols
+             in
+             if proves then
+               failf "objective-mismatch: revised=%.9g nopresolve=%.9g dense=%.9g" v1 v2 v3
+             else Fuzz.Skip "ill-conditioned (objectives differ within tolerance slop)"
+           end
+           else
+             (* Warm-start leg: re-solve a relaxed copy seeded with the
+                final basis; the warm path must match a cold dense solve. *)
+             (match Model.solution_basis s2 with
+              | None -> Fuzz.Pass
+              | Some basis ->
+                let t' = relax_lp t in
+                let m1, xs1 = Gen.lp_model t' in
+                let m2, _ = Gen.lp_model t' in
+                let w1 =
+                  Model.solve ~backend:`Revised ~presolve:false ~warm_start:basis m1
+                in
+                let w2 = Model.solve ~backend:`Dense_tableau m2 in
+                if budget_outcome w1 || budget_outcome w2 then Fuzz.Pass
+                else
+                  match (w1, w2) with
+                  | Model.Optimal u1, Model.Optimal u2 ->
+                    let a = Model.objective_value u1 and b = Model.objective_value u2 in
+                    if obj_close a b then Fuzz.Pass
+                    else
+                      let best = max a b in
+                      let proves =
+                        List.exists
+                          (fun u ->
+                            Model.objective_value u
+                            >= best -. (1e-7 *. (1. +. abs_float best))
+                            && strictly_feasible t' (point t' xs1 u))
+                          [ u1; u2 ]
+                      in
+                      if proves then failf "warm-mismatch: warm revised=%.9g dense=%.9g" a b
+                      else Fuzz.Skip "ill-conditioned (warm leg)"
+                  | (Model.Optimal u, other) | (other, Model.Optimal u) ->
+                    (* Same adjudication as the cold leg: an infeasible
+                       verdict is refuted only by a strict witness, and
+                       optimal-vs-unbounded near a huge optimum is
+                       tolerance ambiguity. *)
+                    if
+                      (other = Model.Infeasible
+                       && strictly_feasible t' (point t' xs1 u))
+                      || (other = Model.Unbounded
+                          && abs_float (Model.objective_value u) <= 1e6)
+                    then
+                      failf "warm-mismatch: warm revised=%s dense=%s (after rhs relaxation)"
+                        (outcome_label w1) (outcome_label w2)
+                    else Fuzz.Skip "ill-conditioned (warm leg)"
+                  | _ -> Fuzz.Pass))
+      | _ -> Fuzz.Pass (* statuses agree on infeasible/unbounded *)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Sparse LU vs dense reconstruction                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Dense image of the factorised basis under the pivot convention: the
+   column pivoted at row [r] occupies dense column [r]; completed rows are
+   implicit unit columns. Updates overwrite dense column [r]. *)
+let dense_of_lu (t : Gen.lu) row_of_col completed =
+  let m = t.Gen.lu_m in
+  let b = Array.make_matrix m m 0. in
+  Array.iteri
+    (fun k (rows, vals) ->
+      let slot = row_of_col.(k) in
+      Array.iteri (fun u r -> b.(r).(slot) <- b.(r).(slot) +. vals.(u)) rows)
+    t.Gen.cols;
+  List.iter (fun r -> b.(r).(r) <- 1.) completed;
+  b
+
+let lu_residuals ~tol m dense lu =
+  let rhss =
+    [
+      ("ones", Array.make m 1.);
+      ("e0", Array.init m (fun i -> if i = 0 then 1. else 0.));
+      ("alt", Array.init m (fun i -> if i mod 2 = 0 then 1. else -1.));
+    ]
+  in
+  let check dir solve mat_vec =
+    List.find_map
+      (fun (name, rhs) ->
+        let x = Array.copy rhs in
+        solve x;
+        let xinf = Array.fold_left (fun acc v -> max acc (abs_float v)) 0. x in
+        let worst = ref 0. in
+        for i = 0 to m - 1 do
+          let s = mat_vec x i in
+          worst := max !worst (abs_float (s -. rhs.(i)))
+        done;
+        if !worst > tol *. (1. +. xinf) then
+          Some (Printf.sprintf "residual: %s %s residual %.3g (tol %.3g, m=%d)"
+                  dir name !worst (tol *. (1. +. xinf)) m)
+        else None)
+      rhss
+  in
+  let bx x i =
+    let s = ref 0. in
+    for r = 0 to m - 1 do s := !s +. (dense.(i).(r) *. x.(r)) done;
+    !s
+  in
+  let btx y i =
+    let s = ref 0. in
+    for j = 0 to m - 1 do s := !s +. (dense.(j).(i) *. y.(j)) done;
+    !s
+  in
+  match check "ftran" (Sparse_lu.ftran lu) bx with
+  | Some msg -> Some msg
+  | None -> check "btran" (Sparse_lu.btran lu) btx
+
+(* The LU oracle owns one growable workspace across all its instances,
+   exercising the scratch reset/reuse path the way a long-lived simplex
+   state does. *)
+let make_lu_test () =
+  let ws_size = ref 4 in
+  let ws = ref (Sparse_lu.workspace !ws_size) in
+  fun (t : Gen.lu) ->
+    let m = t.Gen.lu_m in
+    if m > !ws_size then begin
+      ws_size := m;
+      ws := Sparse_lu.workspace m
+    end;
+    (match Sparse_lu.factorise ~ws:!ws ~m ~complete:t.Gen.complete t.Gen.cols with
+     | None ->
+       if t.Gen.must_factor then
+         failf "rejected-nonsingular: factorise returned None on a diagonally dominant basis (m=%d)"
+           m
+       else Fuzz.Pass
+     | Some { Sparse_lu.lu; row_of_col; completed_rows } ->
+       if t.Gen.must_reject then
+         failf "accepted-singular: factorise accepted an exactly singular basis (m=%d)" m
+       else begin
+         (* Structural invariants of the pivot assignment. *)
+         let ncols = Array.length t.Gen.cols in
+         let used = Array.make m false in
+         let structural = ref None in
+         if Array.length row_of_col <> ncols then
+           structural := Some "row_of_col length differs from column count"
+         else
+           Array.iter
+             (fun r ->
+               if r < 0 || r >= m then structural := Some "pivot row out of range"
+               else if used.(r) then structural := Some "pivot row assigned twice"
+               else used.(r) <- true)
+             row_of_col;
+         List.iter
+           (fun r ->
+             if r < 0 || r >= m || used.(r) then
+               structural := Some "completed row clashes with a pivot row"
+             else used.(r) <- true)
+           completed_rows;
+         if t.Gen.complete && Array.exists not used then
+           structural := Some "complete factorisation left a row uncovered";
+         match !structural with
+         | Some what -> failf "structure: %s (m=%d)" what m
+         | None ->
+           if not t.Gen.must_factor then Fuzz.Pass
+             (* near-singular: accepting is fine, no residual contract *)
+           else begin
+             let dense = dense_of_lu t row_of_col completed_rows in
+             match lu_residuals ~tol:1e-6 m dense lu with
+             | Some msg -> Fuzz.Fail msg
+             | None ->
+               (* Column-replacement updates, tracked densely. *)
+               List.iter
+                 (fun (r, a) ->
+                   let w = Array.copy a in
+                   Sparse_lu.ftran lu w;
+                   if abs_float w.(r) > 1e-3 then begin
+                     Sparse_lu.update lu ~r ~w;
+                     for i = 0 to m - 1 do
+                       dense.(i).(r) <- a.(i)
+                     done
+                   end)
+                 t.Gen.lu_updates;
+               (match lu_residuals ~tol:1e-5 m dense lu with
+                | Some msg -> Fuzz.Fail ("residual: after updates, " ^ String.sub msg 10 (String.length msg - 10))
+                | None -> Fuzz.Pass)
+           end
+       end)
+
+(* ------------------------------------------------------------------ *)
+(* FFC: encoding agreement + exhaustive guarantee audit                *)
+(* ------------------------------------------------------------------ *)
+
+let enumeration_cap = 20_000
+
+let ffc_test (t : Gen.te) =
+  let input = Gen.te_input t in
+  if input.Te_types.flows = [] then Fuzz.Skip "no flows"
+  else begin
+    let kc = t.Gen.kc and ke = t.Gen.ke and kv = t.Gen.kv in
+    let cost =
+      Enumerate.control_constraint_count input ~kc
+      + Enumerate.data_constraint_count input ~ke ~kv
+    in
+    if cost > enumeration_cap then Fuzz.Skip "too large for the exhaustive oracle"
+    else begin
+      let protection = Te_types.protection ~kc ~ke ~kv () in
+      let prev =
+        match Basic_te.solve input with
+        | Ok a -> a
+        | Error _ -> Te_types.zero_allocation input
+      in
+      let solve encoding =
+        (* rescale_aware is required for a sound simultaneous (kc, ke/kv)
+           guarantee; exact optimisations off so encodings are comparable. *)
+        let config =
+          Ffc.config ~protection ~encoding ~mice_fraction:0. ~ingress_skip_fraction:0.
+            ~rescale_aware:(kc > 0 && ke + kv > 0) ()
+        in
+        Ffc.solve_checked ~config ~prev input
+      in
+      match (solve `Sorting_network, solve `Duality) with
+      | Error f, _ | _, Error f ->
+        (* Zero allocation is always feasible and bf <= demand bounds the
+           objective, so any failure here is a solver bug. *)
+        failf "solver-failure: %s (%s)" f.Te_types.message
+          (Te_types.failure_kind_label f.Te_types.kind)
+      | Ok rs, Ok rd ->
+        let ts = Te_types.throughput rs.Ffc.alloc
+        and td = Te_types.throughput rd.Ffc.alloc in
+        if not (obj_close ts td) then
+          failf "encoding-mismatch: sorting-network %.9g vs duality %.9g" ts td
+        else begin
+          let alloc = rs.Ffc.alloc in
+          let over =
+            List.find_map
+              (fun (f : Flow.t) ->
+                let id = f.Flow.id in
+                let bf = alloc.Te_types.bf.(id) and d = input.Te_types.demands.(id) in
+                if bf > d +. (1e-6 *. (1. +. d)) || bf < -1e-9 then Some (id, bf, d)
+                else None)
+              input.Te_types.flows
+          in
+          match over with
+          | Some (id, bf, d) ->
+            failf "guarantee: flow %d granted %.9g outside [0, demand %.9g]" id bf d
+          | None ->
+            let checks =
+              [
+                (ke + kv > 0, fun () ->
+                  Result.map_error (fun e -> "data-plane: " ^ e)
+                    (Enumerate.verify_data_plane input alloc ~ke ~kv));
+                (kc > 0, fun () ->
+                  Result.map_error (fun e -> "control-plane: " ^ e)
+                    (Enumerate.verify_control_plane input ~old_alloc:prev
+                       ~new_alloc:alloc ~kc));
+                (kc > 0 && ke + kv > 0, fun () ->
+                  Result.map_error (fun e -> "combined: " ^ e)
+                    (Enumerate.verify_combined input ~old_alloc:prev ~new_alloc:alloc
+                       ~protection));
+              ]
+            in
+            let bad =
+              List.find_map
+                (fun (active, run) ->
+                  if active then (match run () with Ok () -> None | Error e -> Some e)
+                  else None)
+                checks
+            in
+            (match bad with
+             | Some e -> failf "guarantee: %s" e
+             | None -> Fuzz.Pass)
+        end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Simulator: conservation and priority-drop accounting                *)
+(* ------------------------------------------------------------------ *)
+
+let sim_test (s : Gen.sim) =
+  let t = s.Gen.sim_te in
+  let input = Gen.te_input t in
+  if input.Te_types.flows = [] then Fuzz.Skip "no flows"
+  else begin
+    let mem a x = Array.exists (fun y -> y = x) a in
+    let alloc =
+      match Basic_te.solve input with
+      | Ok a -> a
+      | Error _ -> Te_types.zero_allocation input
+    in
+    let old_alloc =
+      if s.Gen.old_zero then Te_types.zero_allocation input
+      else
+        let scaled =
+          { input with Te_types.demands = Array.map (fun d -> 0.7 *. d) input.Te_types.demands }
+        in
+        match Basic_te.solve scaled with
+        | Ok a -> a
+        | Error _ -> Te_types.zero_allocation input
+    in
+    let rates =
+      Rescale.rescale input alloc ~stuck:(mem s.Gen.stuck) ~old_alloc
+        ~failed_links:(mem s.Gen.failed_links)
+        ~failed_switches:(mem s.Gen.failed_switches) ()
+    in
+    (* Per-flow conservation: emitted + undeliverable = granted rate. *)
+    let bad_flow =
+      List.find_map
+        (fun (f : Flow.t) ->
+          let id = f.Flow.id in
+          let bf = alloc.Te_types.bf.(id) in
+          let sent = Array.fold_left ( +. ) 0. rates.Rescale.tunnel_rates.(id) in
+          let und = rates.Rescale.undeliverable.(id) in
+          if abs_float ((sent +. und) -. bf) > 1e-6 *. (1. +. bf) then
+            Some (id, bf, sent, und)
+          else None)
+        input.Te_types.flows
+    in
+    match bad_flow with
+    | Some (id, bf, sent, und) ->
+      failf "flow-conservation: flow %d rate %.9g but sent %.9g + undeliverable %.9g" id bf
+        sent und
+    | None ->
+      let loads = Rescale.loads input rates.Rescale.tunnel_rates in
+      let by_class = Ffc_sim.Loss.loads_by_class input rates.Rescale.tunnel_rates in
+      let nl = Topology.num_links input.Te_types.topo in
+      let nc = Array.length by_class in
+      let bad_link = ref None in
+      for l = 0 to nl - 1 do
+        let s = ref 0. in
+        for c = 0 to nc - 1 do
+          s := !s +. by_class.(c).(l)
+        done;
+        if abs_float (!s -. loads.(l)) > 1e-6 *. (1. +. loads.(l)) then
+          bad_link := Some (l, !s, loads.(l))
+      done;
+      (match !bad_link with
+       | Some (l, a, b) ->
+         failf "load-mismatch: link %d class-summed load %.9g vs %.9g" l a b
+       | None ->
+         (* Reference drop accounting via prefix sums: under strict priority,
+            class c drops overflow(prefix up to c) - overflow(prefix below c)
+            on each link. Algebraically equal to the greedy serve loop in
+            [Loss.congestion_rates], computed differently on purpose. *)
+         let ref_drops = Array.make nc 0. in
+         Array.iter
+           (fun (l : Topology.link) ->
+             let lid = l.Topology.id in
+             let prefix = ref 0. in
+             let over x = max 0. (x -. l.Topology.capacity) in
+             for c = 0 to nc - 1 do
+               let below = over !prefix in
+               prefix := !prefix +. by_class.(c).(lid);
+               ref_drops.(c) <- ref_drops.(c) +. (over !prefix -. below)
+             done)
+           (Topology.links input.Te_types.topo);
+         let drops = Ffc_sim.Loss.congestion_rates input rates.Rescale.tunnel_rates in
+         let bad_class = ref None in
+         Array.iteri
+           (fun c d ->
+             if abs_float (d -. ref_drops.(c)) > 1e-6 *. (1. +. abs_float d) then
+               bad_class := Some (c, d, ref_drops.(c)))
+           drops;
+         (match !bad_class with
+          | Some (c, d, r) ->
+            failf "priority-drop-mismatch: class %d dropped %.9g, reference %.9g" c d r
+          | None ->
+            let total = Array.fold_left ( +. ) 0. drops in
+            let overflow = Rescale.overflow input loads in
+            if abs_float (total -. overflow) > 1e-6 *. (1. +. overflow) then
+              failf "drop-overflow-mismatch: total drops %.9g vs capacity overflow %.9g"
+                total overflow
+            else Fuzz.Pass))
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let all () =
+  [
+    Fuzz.oracle ~name:"lp" ~generate:Gen.lp_instance ~test:lp_test ~shrink:Gen.shrink_lp
+      ~repro:Gen.lp_snippet;
+    Fuzz.oracle ~name:"lu" ~generate:Gen.lu_instance ~test:(make_lu_test ())
+      ~shrink:Gen.shrink_lu ~repro:Gen.lu_snippet;
+    Fuzz.oracle ~name:"ffc" ~generate:Gen.te_instance ~test:ffc_test ~shrink:Gen.shrink_te
+      ~repro:Gen.te_snippet;
+    Fuzz.oracle ~name:"sim" ~generate:Gen.sim_instance ~test:sim_test ~shrink:Gen.shrink_sim
+      ~repro:Gen.sim_snippet;
+  ]
+
+let select names =
+  let avail = all () in
+  let unknown =
+    List.filter (fun n -> not (List.exists (fun o -> Fuzz.oracle_name o = n) avail)) names
+  in
+  match unknown with
+  | [] -> Ok (List.filter (fun o -> List.mem (Fuzz.oracle_name o) names) avail)
+  | u ->
+    Error
+      (Printf.sprintf "unknown oracle(s) %s (available: %s)" (String.concat ", " u)
+         (String.concat ", " (List.map Fuzz.oracle_name avail)))

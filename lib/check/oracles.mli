@@ -1,0 +1,38 @@
+(** The oracles the fuzzing harness runs (see {!Fuzz}).
+
+    - ["lp"]: the revised simplex (with and without presolve) and the dense
+      tableau must agree on status and objective on random adversarial LPs;
+      claimed-optimal solutions are re-checked against the instance data; a
+      warm-started re-solve of a relaxed copy must match a cold dense solve.
+    - ["lu"]: {!Ffc_lp.Sparse_lu} against a dense reconstruction —
+      diagonally dominant bases must factorise with small FTRAN/BTRAN
+      residuals (also after random column-replacement updates), exactly
+      singular bases must be rejected, near-singular ones may go either way
+      but must never crash, and the pivot assignment must be structurally
+      sound. The oracle owns one growable workspace across instances,
+      exercising the scratch reuse path.
+    - ["ffc"]: the sorting-network and duality encodings must agree on
+      throughput; any solver failure is a bug (zero allocation is always
+      feasible); accepted allocations are audited against the exhaustive
+      fault-case enumerator (Eqns 2/5) for the instance's (kc, ke, kv),
+      skipping instances beyond the enumeration budget.
+    - ["sim"]: rescaling conserves per-flow traffic (sent + undeliverable =
+      granted), per-class link loads sum to total loads, and
+      {!Ffc_sim.Loss.congestion_rates} matches an independent prefix-sum
+      reference for strict-priority drops, whose total equals the capacity
+      overflow. *)
+
+val lp_test : Gen.lp -> Fuzz.verdict
+val make_lu_test : unit -> Gen.lu -> Fuzz.verdict
+val ffc_test : Gen.te -> Fuzz.verdict
+val sim_test : Gen.sim -> Fuzz.verdict
+
+val all : unit -> Fuzz.oracle list
+(** The four oracles, in the listing order that fixes their seed streams:
+    ["lp"], ["lu"], ["ffc"], ["sim"]. *)
+
+val select : string list -> (Fuzz.oracle list, string) result
+(** Subset of {!all} by name, kept in {!all}'s order. Unknown names yield
+    [Error]. Note that {!Fuzz.run} splits seed streams by list position, so
+    a subset run draws different instances than the same oracle in a full
+    run. *)

@@ -123,7 +123,13 @@ let solve ?max_iterations ?deadline_ms (p : Problem.t) =
     && Clock.now_ms () >= deadline_at
   in
   (* Bland's rule: entering = lowest-index column with negative reduced cost,
-     leaving = lowest-index basic among the min-ratio rows. *)
+     leaving = lowest-index basic among the min-ratio rows. In phase 1 a
+     column whose ratio test finds no pivot row is skipped rather than
+     declared an unbounded direction: the phase-1 objective is bounded below
+     by 0, so no genuine unbounded ray exists and such a column is numerical
+     noise (typically a near-zero reduced cost left by pivoting on a tiny
+     element elsewhere). Treating it as a certificate used to turn feasible
+     instances into [Infeasible]. *)
   let pivot r c =
     let piv = t.(r).(c) in
     for j = 0 to width - 1 do
@@ -140,43 +146,94 @@ let solve ?max_iterations ?deadline_ms (p : Problem.t) =
     done;
     basis.(r) <- c
   in
-  let rec iterate allowed =
+  (* Ratio test with a pivot-magnitude floor. Pivoting on a near-zero
+     element multiplies the whole tableau by its reciprocal: one pivot on a
+     1e-7 entry scales a row by 1e7, and the resulting noise can later pass
+     the [eps] test and stop phase 2 at a suboptimal vertex. So the ratio
+     test prefers pivots above [piv_tol], tie-breaking min-ratio rows
+     (within [eps]) by the largest pivot element to keep the tableau
+     conditioned. (This trades Bland's anti-cycling tie-break for numerical
+     stability; the iteration cap still guarantees termination.)
+     - [`Pivot r]: a well-scaled pivot row.
+     - [`Tiny r]: every positive entry is at most [piv_tol]; [r] is the
+       best of them. A tiny coefficient may be genuine data (an unbounded
+       ray can require stepping over it), so such columns are usable — but
+       only as a last resort, after every other improving column has been
+       tried, because the reciprocal blow-up pollutes the whole tableau.
+     - [`Empty]: no positive entry above [eps] at all, the textbook
+       unbounded-ray certificate. *)
+  let piv_tol = 1e-7 in
+  let ratio_test c =
+    (* The min ratio is taken over every entry above [eps] — restricting it
+       to well-scaled pivots would overshoot a tiny-pivot blocking row and
+       drive its basic variable negative. Only the *choice* of leaving row
+       prefers large pivots, among rows within a relative slack of the min. *)
+    let rmin = ref infinity in
+    for i = 0 to m - 1 do
+      if t.(i).(c) > eps then begin
+        let ratio = t.(i).(width - 1) /. t.(i).(c) in
+        if ratio < !rmin then rmin := ratio
+      end
+    done;
+    if !rmin = infinity then `Empty
+    else begin
+      let cutoff = !rmin +. (eps *. (1. +. abs_float !rmin)) in
+      let pick threshold =
+        let leave = ref (-1) in
+        for i = 0 to m - 1 do
+          if t.(i).(c) > threshold then begin
+            let ratio = t.(i).(width - 1) /. t.(i).(c) in
+            if ratio <= cutoff && (!leave < 0 || t.(i).(c) > t.(!leave).(c))
+            then leave := i
+          end
+        done;
+        !leave
+      in
+      match pick piv_tol with
+      | r when r >= 0 -> `Pivot r
+      | _ -> `Tiny (pick eps)
+    end
+  in
+  let rec iterate ~phase1 allowed =
     if !iterations > max_iterations then `Iterlimit
     else if deadline_expired () then `Deadline
     else begin
-      let enter = ref (-1) in
+      let step = ref `Optimal in
+      let tiny = ref (-1, -1) in
+      let empty = ref false in
       (try
          for j = 0 to n + m - 1 do
            if allowed j && t.(m).(j) < -.eps then begin
-             enter := j;
-             raise Exit
+             match ratio_test j with
+             | `Empty -> empty := true
+             | `Tiny r -> if fst !tiny < 0 then tiny := (r, j)
+             | `Pivot r ->
+               step := `Pivot (r, j);
+               raise Exit
            end
          done
        with Exit -> ());
-      if !enter < 0 then `Optimal
-      else begin
-        let c = !enter in
-        let leave = ref (-1) in
-        let best = ref infinity in
-        for i = 0 to m - 1 do
-          if t.(i).(c) > eps then begin
-            let ratio = t.(i).(width - 1) /. t.(i).(c) in
-            if
-              ratio < !best -. eps
-              || (ratio < !best +. eps && (!leave < 0 || basis.(i) < basis.(!leave)))
-            then begin
-              best := ratio;
-              leave := i
-            end
-          end
-        done;
-        if !leave < 0 then `Unbounded
-        else begin
-          pivot !leave c;
-          incr iterations;
-          iterate allowed
-        end
-      end
+      (if !step = `Optimal then
+         (* No well-scaled pivot anywhere. In phase 2 an [`Empty] column is
+            a genuine unbounded ray (in phase 1 it can only be noise: the
+            phase-1 objective is bounded below by 0). Otherwise fall back
+            to the best tiny pivot — except in phase 1 once the remaining
+            infeasibility is already under the acceptance threshold, where
+            the blow-up would buy nothing. *)
+         if not phase1 && !empty then step := `Unbounded
+         else
+           match !tiny with
+           | -1, _ -> ()
+           | r, c ->
+             let infeasibility = -.t.(m).(width - 1) in
+             if not (phase1 && infeasibility <= 1e-6) then step := `Pivot (r, c));
+      match !step with
+      | `Optimal -> `Optimal
+      | `Unbounded -> `Unbounded
+      | `Pivot (r, c) ->
+        pivot r c;
+        incr iterations;
+        iterate ~phase1 allowed
     end
   in
   (* Phase 1. *)
@@ -213,27 +270,36 @@ let solve ?max_iterations ?deadline_ms (p : Problem.t) =
       basis = None;
     }
   in
-  match iterate (fun _ -> true) with
+  match iterate ~phase1:true (fun _ -> true) with
   | `Iterlimit -> finish Problem.Iteration_limit None
   | `Deadline -> finish Problem.Deadline_exceeded None
-  | `Unbounded -> finish Problem.Infeasible None (* phase 1 cannot be unbounded *)
+  | `Unbounded -> assert false (* phase 1 never reports unbounded *)
   | `Optimal ->
     let phase1_obj = -.t.(m).(width - 1) in
     if phase1_obj > 1e-6 then finish Problem.Infeasible None
     else begin
-      (* Drive any basic artificial out where possible. *)
+      (* Drive any basic artificial out where possible, pivoting on the
+         row's largest structural entry. The pivot moves the artificial's
+         residual level rhs/t onto the entering variable, so only do it
+         when that stays negligible: for a cleanly feasible basis the
+         artificial sits at 0, but a tolerance-accepted phase 1 can leave
+         it at up to 1e-6, and pivoting such a row on a same-order entry
+         would hand a structural variable a macroscopic negative value.
+         An artificial left basic is harmless — phase 2 never re-enters
+         artificial columns. *)
       for i = 0 to m - 1 do
         if basis.(i) >= n then begin
           let found = ref (-1) in
-          (try
-             for j = 0 to n - 1 do
-               if abs_float t.(i).(j) > 1e-7 then begin
-                 found := j;
-                 raise Exit
-               end
-             done
-           with Exit -> ());
-          if !found >= 0 then pivot i !found
+          for j = 0 to n - 1 do
+            if
+              abs_float t.(i).(j) > 1e-7
+              && (!found < 0 || abs_float t.(i).(j) > abs_float t.(i).(!found))
+            then found := j
+          done;
+          if
+            !found >= 0
+            && abs_float (t.(i).(width - 1) /. t.(i).(!found)) <= 1e-6
+          then pivot i !found
         end
       done;
       (* Phase 2: rebuild the cost row from real costs. *)
@@ -248,7 +314,7 @@ let solve ?max_iterations ?deadline_ms (p : Problem.t) =
           done
       done;
       let allowed j = j < n in
-      match iterate allowed with
+      match iterate ~phase1:false allowed with
       | `Iterlimit -> finish Problem.Iteration_limit None
       | `Deadline -> finish Problem.Deadline_exceeded None
       | `Unbounded -> finish Problem.Unbounded None

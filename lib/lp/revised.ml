@@ -83,6 +83,7 @@ type state = {
   vstat : vstat array;
   xval : float array;
   mutable lu : Sparse_lu.t option; (* None only before the first factorisation *)
+  ws : Sparse_lu.workspace; (* factorisation scratch owned by this solve *)
   work : float array; (* scratch, length m *)
   rwork : float array;
   cand : int array; (* candidate-list pricing: variable indices *)
@@ -180,7 +181,7 @@ let refactorise_cols st cols ~complete =
   let sparse =
     Array.map (fun j -> (col_rows st j, col_vals st j)) cols
   in
-  match Sparse_lu.factorise ~m:st.m ~cols:sparse ~complete with
+  match Sparse_lu.factorise ~ws:st.ws ~m:st.m ~complete sparse with
   | None -> false
   | Some { Sparse_lu.lu; row_of_col; completed_rows } ->
     let new_basic = Array.make st.m (-1) in
@@ -506,7 +507,7 @@ let run_phase st ~max_iterations =
 (* State construction                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let make_state acc (p : Problem.t) ~lb ~ub ~vstat ~xval ~art_sign =
+let make_state acc ws (p : Problem.t) ~lb ~ub ~vstat ~xval ~art_sign =
   let m = p.Problem.nrows in
   let n = p.Problem.ncols + m in
   {
@@ -521,6 +522,7 @@ let make_state acc (p : Problem.t) ~lb ~ub ~vstat ~xval ~art_sign =
     vstat;
     xval;
     lu = None;
+    ws;
     work = Array.make m 0.;
     rwork = Array.make m 0.;
     cand = Array.make candidate_list_size 0;
@@ -533,7 +535,7 @@ let make_state acc (p : Problem.t) ~lb ~ub ~vstat ~xval ~art_sign =
     acc;
   }
 
-let initial_state acc (p : Problem.t) =
+let initial_state acc ws (p : Problem.t) =
   let m = p.Problem.nrows in
   let ncols = p.Problem.ncols in
   let n = ncols + m in
@@ -557,7 +559,7 @@ let initial_state acc (p : Problem.t) =
     end
   done;
   let art_sign = Array.make m 1. in
-  let st = make_state acc p ~lb ~ub ~vstat ~xval ~art_sign in
+  let st = make_state acc ws p ~lb ~ub ~vstat ~xval ~art_sign in
   (* Start from the slack basis where the slack bounds admit the residual;
      use an artificial (with a sign making its value >= 0) elsewhere. *)
   let r = st.rwork in
@@ -589,7 +591,7 @@ let initial_state acc (p : Problem.t) =
    pinned to [0,0]; rank completion may make some of them (degenerately)
    basic. Returns [None] -- caller falls back to a cold start -- when the
    snapshot is inconsistent or its basis matrix is singular. *)
-let warm_state acc (p : Problem.t) (b : Problem.basis) =
+let warm_state acc ws (p : Problem.t) (b : Problem.basis) =
   let m = p.Problem.nrows in
   let ncols = p.Problem.ncols in
   let n = ncols + m in
@@ -630,7 +632,7 @@ let warm_state acc (p : Problem.t) (b : Problem.basis) =
   done;
   if !nbasic > m then None
   else begin
-    let st = make_state acc p ~lb ~ub ~vstat ~xval ~art_sign:(Array.make m 1.) in
+    let st = make_state acc ws p ~lb ~ub ~vstat ~xval ~art_sign:(Array.make m 1.) in
     if refactorise_cols st !cols ~complete:true then Some st else None
   end
 
@@ -754,21 +756,50 @@ let enter_phase2 st =
   st.degenerate_run <- 0
 
 let run_phase2 st ~max_iterations ~phase1 ~warm =
+  let rec attempt tries =
+    match run_phase st ~max_iterations with
+    | Phase_optimal ->
+      ignore (recompute_basics st);
+      (* Clean tiny values. *)
+      for j = 0 to st.n - 1 do
+        if abs_float st.xval.(j) < zero_tol then st.xval.(j) <- 0.
+      done;
+      (* Dual optimality alone does not certify the point. A degenerate
+         pivot can land on a near-singular basis whose exact solution --
+         materialised by [recompute_basics] after a refactorisation --
+         sits far outside the bounds even though the working values only
+         drifted by rounding. Without this check "optimal" could return a
+         point violating a constraint by a macroscopic amount. *)
+      if total_infeasibility st <= feas_tol *. float_of_int (st.m + 1) then
+        finish st ~phase1 ~warm Problem.Optimal "optimal"
+      else if tries >= 3 then
+        finish st ~phase1 ~warm Problem.Iteration_limit
+          "phase-2 optimum primally infeasible (numerical trouble)"
+      else begin
+        st.acc.restarts <- st.acc.restarts + 1;
+        match restore_feasibility st ~max_iterations with
+        | `Feasible ->
+          enter_phase2 st;
+          attempt (tries + 1)
+        | `Stuck ->
+          finish st ~phase1 ~warm Problem.Iteration_limit
+            "phase-2 restoration stuck (numerical trouble)"
+        | `Iterlimit ->
+          finish st ~phase1 ~warm Problem.Iteration_limit "iteration-limit (phase 2)"
+        | `Deadline ->
+          finish st ~phase1 ~warm Problem.Deadline_exceeded "deadline (phase 2)"
+      end
+    | Phase_unbounded -> finish st ~phase1 ~warm Problem.Unbounded "unbounded"
+    | Phase_iterlimit ->
+      finish st ~phase1 ~warm Problem.Iteration_limit "iteration-limit (phase 2)"
+    | Phase_deadline ->
+      finish st ~phase1 ~warm Problem.Deadline_exceeded "deadline (phase 2)"
+  in
   enter_phase2 st;
-  match run_phase st ~max_iterations with
-  | Phase_optimal ->
-    ignore (recompute_basics st);
-    (* Clean tiny values. *)
-    for j = 0 to st.n - 1 do
-      if abs_float st.xval.(j) < zero_tol then st.xval.(j) <- 0.
-    done;
-    finish st ~phase1 ~warm Problem.Optimal "optimal"
-  | Phase_unbounded -> finish st ~phase1 ~warm Problem.Unbounded "unbounded"
-  | Phase_iterlimit -> finish st ~phase1 ~warm Problem.Iteration_limit "iteration-limit (phase 2)"
-  | Phase_deadline -> finish st ~phase1 ~warm Problem.Deadline_exceeded "deadline (phase 2)"
+  attempt 0
 
-let cold_solve acc (p : Problem.t) ~max_iterations ~deadline_at =
-  let st = initial_state acc p in
+let cold_solve acc ws (p : Problem.t) ~max_iterations ~deadline_at =
+  let st = initial_state acc ws p in
   st.deadline_at <- deadline_at;
   (* Phase 1: minimise the artificial sum. *)
   for i = 0 to st.m - 1 do
@@ -805,8 +836,8 @@ let cold_solve acc (p : Problem.t) ~max_iterations ~deadline_at =
       run_phase2 st ~max_iterations ~phase1 ~warm:false
     end
 
-let warm_solve acc (p : Problem.t) b ~max_iterations ~deadline_at =
-  match warm_state acc p b with
+let warm_solve acc ws (p : Problem.t) b ~max_iterations ~deadline_at =
+  match warm_state acc ws p b with
   | None -> None
   | Some st -> (
     st.deadline_at <- deadline_at;
@@ -832,6 +863,9 @@ let warm_solve acc (p : Problem.t) b ~max_iterations ~deadline_at =
 let solve ?max_iterations ?deadline_ms ?basis (p : Problem.t) =
   let acc = fresh_acc () in
   let m = p.Problem.nrows in
+  (* One factorisation workspace per solve, shared by the warm attempt and
+     any cold fallback; dropped with the solve (no global cache). *)
+  let ws = Sparse_lu.workspace m in
   let n = p.Problem.ncols + m in
   let max_iterations =
     match max_iterations with Some k -> k | None -> (20 * (m + n)) + 10_000
@@ -842,7 +876,7 @@ let solve ?max_iterations ?deadline_ms ?basis (p : Problem.t) =
   let warm_result =
     match basis with
     | Some b when Array.length b.Problem.statuses = p.Problem.ncols ->
-      warm_solve acc p b ~max_iterations ~deadline_at
+      warm_solve acc ws p b ~max_iterations ~deadline_at
     | Some _ ->
       (* Dimension mismatch (e.g. presolve kept a different number of rows;
          same-count different-set reductions are caught upstream by the
@@ -853,4 +887,4 @@ let solve ?max_iterations ?deadline_ms ?basis (p : Problem.t) =
   in
   match warm_result with
   | Some r -> r
-  | None -> cold_solve acc p ~max_iterations ~deadline_at
+  | None -> cold_solve acc ws p ~max_iterations ~deadline_at

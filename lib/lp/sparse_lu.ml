@@ -84,11 +84,12 @@ exception Singular
 
 (* Reusable factorisation workspace. A factorisation allocates thousands of
    small per-column/per-row growable arrays; simplex refactorises the same
-   basis dimension dozens of times per solve, so the scratch structures are
-   cached and reset (length fields and pivot flags only -- O(m) writes, no
-   re-allocation) instead of rebuilt. Dedup markers survive resets by using
-   stamps that only move forward. Everything escaping into the returned [t]
-   is still freshly allocated. *)
+   basis dimension dozens of times per solve, so the caller owns the scratch
+   structures and passes them back in: they are reset (length fields and
+   pivot flags only -- O(m) writes, no re-allocation) instead of rebuilt.
+   Dedup markers survive resets by using stamps that only move forward.
+   Everything escaping into the returned [t] is still freshly allocated, so
+   a workspace never aliases live factors. *)
 type workspace = {
   size : int;
   w_col : dyn array;
@@ -114,43 +115,34 @@ type workspace = {
   mutable w_visit : int; (* pivot-row walk generation *)
 }
 
-let ws_cache : workspace option ref = ref None
+let workspace m =
+  {
+    size = m;
+    w_col = Array.init m (fun _ -> dyn_make 4);
+    w_ufix = Array.init m (fun _ -> dyn_make 4);
+    w_rowcnt = Array.make m 0;
+    w_rowcols = Array.init m (fun _ -> idyn_make 4);
+    w_row_pivoted = Array.make m false;
+    w_col_pivoted = Array.make m false;
+    w_head = Array.make (m + 1) (-1);
+    w_nxt = Array.make m (-1);
+    w_prv = Array.make m (-1);
+    w_lcnt = Array.make m 0;
+    w_ldyn = dyn_make (4 * m);
+    w_udyn = dyn_make (4 * m);
+    w_spa_val = Array.make m 0.;
+    w_spa_stamp = Array.make m (-1);
+    w_spa_rows = idyn_make 16;
+    w_colvisit = Array.make m (-1);
+    w_stamp = 0;
+    w_visit = 0;
+  }
 
-let get_workspace m =
-  match !ws_cache with
-  | Some ws when ws.size >= m -> ws
-  | _ ->
-    let ws =
-      {
-        size = m;
-        w_col = Array.init m (fun _ -> dyn_make 4);
-        w_ufix = Array.init m (fun _ -> dyn_make 4);
-        w_rowcnt = Array.make m 0;
-        w_rowcols = Array.init m (fun _ -> idyn_make 4);
-        w_row_pivoted = Array.make m false;
-        w_col_pivoted = Array.make m false;
-        w_head = Array.make (m + 1) (-1);
-        w_nxt = Array.make m (-1);
-        w_prv = Array.make m (-1);
-        w_lcnt = Array.make m 0;
-        w_ldyn = dyn_make (4 * m);
-        w_udyn = dyn_make (4 * m);
-        w_spa_val = Array.make m 0.;
-        w_spa_stamp = Array.make m (-1);
-        w_spa_rows = idyn_make 16;
-        w_colvisit = Array.make m (-1);
-        w_stamp = 0;
-        w_visit = 0;
-      }
-    in
-    ws_cache := Some ws;
-    ws
-
-let factorise ~m ~cols ~complete =
+let factorise ?ws ~m ~complete cols =
   let ncols = Array.length cols in
   if (not complete) && ncols <> m then invalid_arg "Sparse_lu.factorise: need m columns";
   if ncols > m then invalid_arg "Sparse_lu.factorise: more columns than rows";
-  let ws = get_workspace m in
+  let ws = match ws with Some w when w.size >= m -> w | _ -> workspace m in
   (* Active matrix, column-wise. *)
   let col = ws.w_col and ufix = ws.w_ufix in
   let rowcnt = ws.w_rowcnt and rowcols = ws.w_rowcols in
@@ -203,9 +195,13 @@ let factorise ~m ~cols ~complete =
     unlink k;
     link k
   in
+  (* A column with no surviving entries (zero-nnz or explicit zeros only)
+     is structurally singular. Flag it here and raise inside the handler
+     below: raising [Singular] from this loop would escape the [try] that
+     turns it into [None], crashing the caller instead. *)
+  let empty_col = ref false in
   for k = 0 to ncols - 1 do
-    if col.(k).len = 0 then raise_notrace Singular;
-    link k
+    if col.(k).len = 0 then empty_col := true else link k
   done;
   (* Output accumulators (steps are sequential, so append-only). *)
   let prow = Array.make m (-1) and upiv = Array.make m 1. in
@@ -361,6 +357,7 @@ let factorise ~m ~cols ~complete =
     nsteps := k + 1
   in
   try
+    if !empty_col then raise_notrace Singular;
     let remaining = ref ncols in
     while !remaining > 0 do
       match choose_pivot () with
@@ -491,18 +488,24 @@ let btran t y =
 (* Updates                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let upd_buf = dyn_make 256
-
 let update t ~r ~w =
-  (* Harvest the eta's nonzeros in one pass through a reused buffer, then
-     copy into exact-size arrays owned by the eta file. *)
-  upd_buf.len <- 0;
+  (* Count the eta's nonzeros, then copy into exact-size arrays owned by the
+     eta file. Two passes over [w] keep this allocation-exact without any
+     module-level buffer (which would make concurrent solves unsafe). *)
+  let nz = ref 0 in
+  for i = 0 to t.m - 1 do
+    if i <> r && abs_float (Array.unsafe_get w i) > drop_tol then incr nz
+  done;
+  let idx = Array.make !nz 0 and vals = Array.make !nz 0. in
+  let p = ref 0 in
   for i = 0 to t.m - 1 do
     let v = Array.unsafe_get w i in
-    if i <> r && abs_float v > drop_tol then dyn_push upd_buf i v
+    if i <> r && abs_float v > drop_tol then begin
+      idx.(!p) <- i;
+      vals.(!p) <- v;
+      incr p
+    end
   done;
-  let idx = Array.sub upd_buf.ir 0 upd_buf.len in
-  let vals = Array.sub upd_buf.fr 0 upd_buf.len in
   if t.nupd = Array.length t.e_r then begin
     let cap = max 16 (2 * t.nupd) in
     let grow_i a = Array.init cap (fun i -> if i < t.nupd then a.(i) else 0) in

@@ -19,6 +19,18 @@
 
 type t
 
+type workspace
+(** Reusable factorisation scratch memory. A workspace created for dimension
+    [m] serves any factorisation with [m' <= m]; reusing one across the
+    dozens of refactorisations of a simplex solve avoids re-allocating the
+    per-column/per-row growable arrays each time. Ownership is the
+    caller's: there is no module-level cache, so distinct solver states
+    (or threads/domains) each hold their own workspace and [factorise] is
+    reentrant. Nothing in a returned factorisation aliases the workspace. *)
+
+val workspace : int -> workspace
+(** [workspace m] allocates scratch for factorising up to [m x m] bases. *)
+
 type factor_result = {
   lu : t;
   row_of_col : int array;
@@ -30,14 +42,22 @@ type factor_result = {
 }
 
 val factorise :
-  m:int -> cols:(int array * float array) array -> complete:bool -> factor_result option
-(** Factorise the matrix whose [k]-th column has the given sparse
-    rows/values. With [~complete:false] exactly [m] columns must be supplied
+  ?ws:workspace ->
+  m:int ->
+  complete:bool ->
+  (int array * float array) array ->
+  factor_result option
+(** [factorise ~m ~complete cols] factorises the matrix whose [k]-th column
+    has the given sparse rows/values. With [~complete:false] exactly [m] columns must be supplied
     and all must pivot; with [~complete:true] at most [m] columns are
     supplied, all of them must pivot, and any rows left unpivoted are covered
     by implicit unit columns (reported in [completed_rows]) — the
     rank-completion used by warm starts. Returns [None] if any supplied
-    column cannot be pivoted (structurally or numerically singular basis). *)
+    column cannot be pivoted (structurally or numerically singular basis) —
+    including columns with no entries at all (zero-nnz, or every value an
+    explicit [0.]); no exception escapes for any input of valid dimensions.
+    [ws] supplies caller-owned scratch (see {!workspace}); when absent, or
+    sized below [m], a fresh workspace is allocated for the call. *)
 
 val ftran : t -> float array -> unit
 (** [ftran t w] overwrites the dense vector [w] (length [m]) with

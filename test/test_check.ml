@@ -1,0 +1,202 @@
+(* Tests for the differential fuzzing harness itself (lib/check): runner
+   determinism, category-preserving shrinking, crash capture, generator
+   well-formedness over many seeds, and repro-snippet shape. The real
+   solver-facing campaign runs as the [fuzz] experiment in bench/. *)
+
+module Fuzz = Ffc_check.Fuzz
+module Gen = Ffc_check.Gen
+module Oracles = Ffc_check.Oracles
+module Rng = Ffc_util.Rng
+
+(* A synthetic oracle over int lists: fails whenever the list contains an
+   element >= 10. The minimal failing instance for the shrinker to find is
+   the singleton [10] (shrink: drop elements, halve elements). *)
+let synthetic_test xs =
+  if List.exists (fun x -> x >= 10) xs then
+    Fuzz.Fail (Printf.sprintf "big-element: %d elements" (List.length xs))
+  else Fuzz.Pass
+
+let synthetic_shrink xs =
+  let drops = List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) xs) xs in
+  let halves =
+    if List.exists (fun x -> x > 10) xs then
+      [ List.map (fun x -> if x > 10 then ((x - 10) / 2) + 10 else x) xs ]
+    else []
+  in
+  drops @ halves
+
+let synthetic_oracle =
+  Fuzz.oracle ~name:"synthetic"
+    ~generate:(fun rng -> List.init (3 + Rng.int rng 8) (fun _ -> Rng.int rng 40))
+    ~test:synthetic_test ~shrink:synthetic_shrink
+    ~repro:(fun xs -> String.concat ";" (List.map string_of_int xs))
+
+let counts r =
+  List.map
+    (fun (o : Fuzz.oracle_report) ->
+      (o.Fuzz.o_name, o.Fuzz.exercised, o.Fuzz.skipped, List.length o.Fuzz.findings))
+    r.Fuzz.oracles
+
+let test_runner_deterministic () =
+  let run () = Fuzz.run ~seed:7 ~count:60 ~oracles:[ synthetic_oracle ] () in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same counts" true (counts a = counts b);
+  let msgs r = List.map (fun f -> (f.Fuzz.f_index, f.Fuzz.min_message, f.Fuzz.repro)) (Fuzz.failures r) in
+  Alcotest.(check bool) "same findings" true (msgs a = msgs b);
+  Alcotest.(check bool) "found something" true (Fuzz.failures a <> [])
+
+let test_seed_changes_stream () =
+  (* Record the raw generated stream: same master seed must replay it
+     verbatim, different seeds must diverge. *)
+  let recording seen =
+    Fuzz.oracle ~name:"recording"
+      ~generate:(fun rng ->
+        let x = Rng.int rng 1_000_000 in
+        seen := x :: !seen;
+        x)
+      ~test:(fun _ -> Fuzz.Pass)
+      ~shrink:(fun _ -> [])
+      ~repro:string_of_int
+  in
+  let s1 = ref [] and s1' = ref [] and s2 = ref [] in
+  ignore (Fuzz.run ~seed:1 ~count:30 ~oracles:[ recording s1 ] ());
+  ignore (Fuzz.run ~seed:1 ~count:30 ~oracles:[ recording s1' ] ());
+  ignore (Fuzz.run ~seed:2 ~count:30 ~oracles:[ recording s2 ] ());
+  Alcotest.(check (list int)) "same seed replays the stream" !s1 !s1';
+  Alcotest.(check bool) "different seed diverges" true (!s1 <> !s2)
+
+let test_shrinker_converges () =
+  let r = Fuzz.run ~seed:3 ~count:40 ~oracles:[ synthetic_oracle ] () in
+  match Fuzz.failures r with
+  | [] -> Alcotest.fail "synthetic oracle found nothing"
+  | fs ->
+    List.iter
+      (fun (f : Fuzz.finding) ->
+        Alcotest.(check string) "category preserved" "big-element"
+          (Fuzz.category f.Fuzz.min_message);
+        (* Greedy drop+halve shrinking reaches the singleton [10]. *)
+        Alcotest.(check string) "minimal repro" "10" f.Fuzz.repro)
+      fs
+
+let test_crash_becomes_failure () =
+  let crashing =
+    Fuzz.oracle ~name:"crashing"
+      ~generate:(fun rng -> Rng.int rng 100)
+      ~test:(fun n -> if n >= 10 then failwith "boom" else Fuzz.Pass)
+      ~shrink:(fun n -> if n > 10 then [ n / 2; n - 1 ] else [])
+      ~repro:string_of_int
+  in
+  let r = Fuzz.run ~seed:5 ~count:50 ~oracles:[ crashing ] () in
+  match Fuzz.failures r with
+  | [] -> Alcotest.fail "crash not captured"
+  | f :: _ ->
+    Alcotest.(check string) "crash category" "crash" (Fuzz.category f.Fuzz.message);
+    Alcotest.(check string) "shrunk to threshold" "10" f.Fuzz.repro
+
+let test_verdict_helpers () =
+  Alcotest.(check string) "category" "residual" (Fuzz.category "residual: ftran off");
+  Alcotest.(check string) "no colon" "oops" (Fuzz.category "oops");
+  (match Fuzz.run_test (fun _ -> failwith "kaput") () with
+  | Fuzz.Fail msg -> Alcotest.(check string) "crash prefix" "crash" (Fuzz.category msg)
+  | _ -> Alcotest.fail "exception not converted");
+  match Fuzz.run_test (fun () -> Fuzz.Pass) () with
+  | Fuzz.Pass -> ()
+  | _ -> Alcotest.fail "pass not preserved"
+
+(* Generators must produce structurally valid instances for any seed: no
+   exceptions, invariants like matching array lengths and in-range tunnel
+   endpoints hold. *)
+let test_generators_well_formed () =
+  let rng = Rng.create 99 in
+  for _ = 1 to 200 do
+    let t = Gen.lp_instance (Rng.split rng) in
+    let n = Gen.lp_nvars t in
+    Alcotest.(check int) "lb length" n (Array.length t.Gen.lb);
+    Alcotest.(check int) "ub length" n (Array.length t.Gen.ub);
+    Alcotest.(check int) "obj length" n (Array.length t.Gen.obj);
+    List.iter
+      (fun (r : Gen.lp_row) ->
+        Alcotest.(check int) "row width" n (Array.length r.Gen.coeffs))
+      t.Gen.rows;
+    let lu = Gen.lu_instance (Rng.split rng) in
+    Alcotest.(check bool) "lu column count" true (Array.length lu.Gen.cols <= lu.Gen.lu_m);
+    let te = Gen.te_instance (Rng.split rng) in
+    let input = Gen.te_input te in
+    Alcotest.(check bool) "kc sane" true (te.Gen.kc >= 0);
+    Alcotest.(check bool) "has topology" true
+      (Ffc_net.Topology.num_links input.Ffc_core.Te_types.topo > 0);
+    let sim = Gen.sim_instance (Rng.split rng) in
+    ignore (Gen.te_input sim.Gen.sim_te)
+  done
+
+let test_snippets_runnable_shape () =
+  let rng = Rng.create 4 in
+  let lp = Gen.lp_snippet (Gen.lp_instance (Rng.split rng)) in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in lp snippet") true (contains lp needle))
+    [ "let () ="; "Model.solve ~backend:`Dense_tableau"; "warm_start"; "Model.maximize" ];
+  let lus = Gen.lu_snippet (Gen.lu_instance (Rng.split rng)) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in lu snippet") true (contains lus needle))
+    [ "Sparse_lu.factorise"; "let () =" ];
+  let tes = Gen.te_snippet (Gen.te_instance (Rng.split rng)) in
+  Alcotest.(check bool) "te snippet solves" true (contains tes "solve");
+  let sims = Gen.sim_snippet (Gen.sim_instance (Rng.split rng)) in
+  Alcotest.(check bool) "sim snippet" true (String.length sims > 0)
+
+(* The composed campaign over the real oracles: a short seeded run must
+   exercise every oracle and find nothing (regressions show up as findings
+   here long before the CI smoke). *)
+let test_real_oracles_clean_smoke () =
+  let r = Fuzz.run ~seed:42 ~count:120 ~oracles:(Oracles.all ()) () in
+  List.iter
+    (fun (o : Fuzz.oracle_report) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s exercised (%d)" o.Fuzz.o_name o.Fuzz.exercised)
+        true (o.Fuzz.exercised > 0);
+      match o.Fuzz.findings with
+      | [] -> ()
+      | f :: _ ->
+        Alcotest.failf "oracle %s found: %s@.%s" o.Fuzz.o_name f.Fuzz.min_message
+          f.Fuzz.repro)
+    r.Fuzz.oracles
+
+let test_oracle_selection () =
+  (match Oracles.select [ "lp"; "sim" ] with
+  | Ok os ->
+    Alcotest.(check (list string)) "selected" [ "lp"; "sim" ] (List.map Fuzz.oracle_name os)
+  | Error e -> Alcotest.fail e);
+  match Oracles.select [ "nope" ] with
+  | Ok _ -> Alcotest.fail "unknown oracle accepted"
+  | Error _ -> ()
+
+let () =
+  let case name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "check"
+    [
+      ( "runner",
+        [
+          case "deterministic per seed" test_runner_deterministic;
+          case "seed changes the stream" test_seed_changes_stream;
+          case "verdict helpers" test_verdict_helpers;
+          case "crash captured as failure" test_crash_becomes_failure;
+        ] );
+      ("shrinking", [ case "category-preserving convergence" test_shrinker_converges ]);
+      ( "generators",
+        [
+          case "well-formed over many seeds" test_generators_well_formed;
+          case "snippets have runnable shape" test_snippets_runnable_shape;
+        ] );
+      ( "oracles",
+        [
+          case "seeded smoke is clean" test_real_oracles_clean_smoke;
+          case "selection by name" test_oracle_selection;
+        ] );
+    ]

@@ -137,6 +137,58 @@ let test_class_rate () =
   check_float "class 0" 1.5 per.(0);
   check_float "class 1" 2.5 per.(1)
 
+(* Property: [Loss.congestion_rates] matches the closed-form strict-priority
+   reference. On each link, the classes are served in priority order, so the
+   drop of class [c] is the growth of the overflow between the load prefix
+   up to [c-1] and up to [c]: over(prefix_c) - over(prefix_{c-1}) with
+   over(s) = max 0 (s - capacity). Aggregating that per link must reproduce
+   the serve-loop in [congestion_rates] exactly, and the total drop must
+   equal the summed link overflows (conservation). *)
+let prop_congestion_rates_match_prefix_reference =
+  let gen_case =
+    QCheck.Gen.(
+      map
+        (fun seed ->
+          let rng = Rng.create seed in
+          let te = Ffc_check.Gen.te_instance rng in
+          let input = Ffc_check.Gen.te_input te in
+          let rates =
+            List.map
+              (fun (f : Flow.t) ->
+                List.map (fun _ -> Rng.uniform rng 0. 400.) f.Flow.tunnels)
+              input.Te_types.flows
+          in
+          (input, rates))
+        (int_bound 100_000))
+  in
+  let arb = QCheck.make gen_case in
+  QCheck.Test.make ~count:300 ~name:"congestion_rates matches prefix-sum reference" arb
+    (fun (input, rate_lists) ->
+      let rates =
+        Array.of_list (List.map Array.of_list rate_lists)
+      in
+      let drops = Sim.Loss.congestion_rates input rates in
+      let loads = Sim.Loss.loads_by_class input rates in
+      let nc = Array.length loads in
+      let reference = Array.make nc 0. in
+      let total_overflow = ref 0. in
+      Array.iter
+        (fun (l : Topology.link) ->
+          let lid = l.Topology.id in
+          let over s = max 0. (s -. l.Topology.capacity) in
+          let prefix = ref 0. in
+          for cls = 0 to nc - 1 do
+            let below = !prefix in
+            prefix := !prefix +. loads.(cls).(lid);
+            reference.(cls) <- reference.(cls) +. (over !prefix -. over below)
+          done;
+          total_overflow := !total_overflow +. over !prefix)
+        (Topology.links input.Te_types.topo);
+      let close a b = abs_float (a -. b) <= 1e-6 *. (1. +. abs_float a) in
+      let per_class_ok = Array.for_all2 close drops reference in
+      let total = Array.fold_left ( +. ) 0. drops in
+      per_class_ok && close total !total_overflow)
+
 (* ------------------------------------------------------------------ *)
 (* Update simulation                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -408,6 +460,7 @@ let () =
           case "drops low priority first" test_priority_queueing_drops_low_first;
           case "drops high when saturated" test_priority_queueing_drops_high_when_saturated;
           case "class rates" test_class_rate;
+          QCheck_alcotest.to_alcotest prop_congestion_rates_match_prefix_reference;
         ] );
       ( "update-sim",
         [
