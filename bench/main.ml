@@ -1158,7 +1158,7 @@ let resilience () =
     Sim.Fault_model.dedup topo
       (List.sort
          (fun (a : Sim.Fault_model.fault) b ->
-           compare a.Sim.Fault_model.time_s b.Sim.Fault_model.time_s)
+           Float.compare a.Sim.Fault_model.time_s b.Sim.Fault_model.time_s)
          (links @ switches))
   in
   let series = Sim.Scenario.demand_series (Rng.create 777) sc ~scale ~intervals:n in
@@ -1498,6 +1498,184 @@ let fuzz () =
          (List.length (Fuzz.failures r)))
 
 (* ------------------------------------------------------------------ *)
+(* Chaos: crash-recovery journal and adversarial guarantee hunting     *)
+(* ------------------------------------------------------------------ *)
+
+(* Controller crash-recovery on the over-subscribed L-Net. Both arms see an
+   identical world — same demand series, same correlated fault timeline
+   (random SRLG conduits plus burst windows), same forced controller crash
+   at the same interval (forced crashes consume no randomness, so the
+   arms' streams stay aligned) — and differ only in how the controller
+   comes back: cold (blind recovery interval: zero previous allocation,
+   assumed-clean switch fleet) vs journaled (controller and southbound
+   state resumed through the crash-recovery serialization end-to-end).
+
+   Contracts asserted:
+     - both arms actually exercise downtime and a recovery interval, and
+       the journaled arm restored from the journal at least once;
+     - the journaled arm never loses more traffic than the cold arm;
+     - zero kc-guarantee violations in the journaled arm;
+     - the adversarial hunter (budget-bounded, fixed seed) finds no
+       guarantee violation within the configured protection.
+   Emits BENCH_chaos.json; a hunter finding also writes CHAOS_repro.ml. *)
+let chaos () =
+  section "Chaos: controller crash-recovery journal and adversarial guarantee hunt (L-Net)";
+  let sc = Lazy.force lnet in
+  Printf.printf "%s\n" (scenario_summary sc);
+  let input = sc.Sim.Scenario.input in
+  let topo = input.Te_types.topo in
+  let scale = 1.5 in
+  let protection = Te_types.protection ~kc:2 ~ke:1 () in
+  (* Exact formulation: the live checker and the hunter assert the paper's
+     guarantee, so no mice / ingress-skip shortcuts. *)
+  let config_of _ =
+    Ffc.config ~protection ~encoding:`Duality ~mice_fraction:0. ~ingress_skip_fraction:0. ()
+  in
+  let n = intervals 18 in
+  let um = Sim.Update_model.realistic () in
+  (* Correlated fault structure beyond independent fibre failures: two
+     random shared-risk conduits and burst windows with 4x elevated
+     conditional failure probability. *)
+  let fm =
+    Sim.Fault_model.correlated
+      ~srlgs:(Sim.Fault_model.random_srlgs (Rng.create 606) topo ~groups:2 ~width:2)
+      ~srlg_fail_per_interval:0.05 ~burst_prob:0.15 ~burst_factor:4.
+      (Sim.Fault_model.lnet_like topo)
+  in
+  let crash_at = max 1 (n / 3) in
+  (* Downtime must end before the horizon does, or no recovery interval
+     ever runs — in quick mode the horizon is only a few intervals long. *)
+  let downtime_s = 300. *. (if !fast then 1.2 else 2.2) in
+  Printf.printf "forced crash at interval %d, downtime %.0f s (%s recovery compared)\n%!"
+    crash_at downtime_s "cold vs journaled";
+  let series = Sim.Scenario.demand_series (Rng.create 555) sc ~scale ~intervals:n in
+  let run_arm name recovery =
+    let outage =
+      Sim.Interval_sim.controller_outage ~forced_crashes:[ (crash_at, downtime_s) ] recovery
+    in
+    let cfg =
+      Sim.Interval_sim.default_config ~audit_budget:4 ~outage
+        ~mode:(Sim.Interval_sim.Proactive config_of) ~update_model:um fm
+    in
+    let stats = Sim.Interval_sim.run ~rng:(Rng.create 333) cfg input ~demand_series:series in
+    (name, stats)
+  in
+  let arms =
+    [
+      run_arm "cold" Sim.Interval_sim.Cold_restart;
+      run_arm "journaled" Sim.Interval_sim.Journaled_restart;
+    ]
+  in
+  let summary (name, stats) =
+    let count pred = List.fold_left (fun a s -> if pred s then a + 1 else a) 0 stats in
+    let sumf f = List.fold_left (fun a s -> a +. f s) 0. stats in
+    let down = count (fun s -> s.Sim.Interval_sim.controller_down) in
+    let recov = count (fun s -> s.Sim.Interval_sim.recovery_interval) in
+    let journaled = count (fun s -> s.Sim.Interval_sim.recovered_from_journal) in
+    let lost = sumf Sim.Interval_sim.total_lost in
+    let window_lost =
+      sumf (fun s ->
+          if s.Sim.Interval_sim.controller_down || s.Sim.Interval_sim.recovery_interval
+          then Sim.Interval_sim.total_lost s
+          else 0.)
+    in
+    let verdicts pred = count (fun s -> pred s.Sim.Interval_sim.kc_verdict) in
+    ( name,
+      down,
+      recov,
+      journaled,
+      lost,
+      window_lost,
+      ( verdicts (function Sim.Southbound.Ok_checked -> true | _ -> false),
+        verdicts (function Sim.Southbound.Beyond_budget _ -> true | _ -> false),
+        verdicts (function Sim.Southbound.Violation _ -> true | _ -> false) ) )
+  in
+  let summaries = List.map summary arms in
+  let t =
+    Table.create
+      [
+        "arm"; "down ivals"; "recovery"; "from journal"; "lost Gb"; "window lost Gb";
+        "kc ok/beyond/viol";
+      ]
+  in
+  List.iter
+    (fun (name, down, recov, j, lost, wlost, (ok, bb, vi)) ->
+      Table.add_row t
+        [
+          name; string_of_int down; string_of_int recov; string_of_int j;
+          Printf.sprintf "%.2f" lost; Printf.sprintf "%.2f" wlost;
+          Printf.sprintf "%d/%d/%d" ok bb vi;
+        ])
+    summaries;
+  Table.print t;
+  let find name = List.find (fun (a, _, _, _, _, _, _) -> a = name) summaries in
+  let _, c_down, c_recov, _, c_lost, _, _ = find "cold" in
+  let _, j_down, j_recov, j_journal, j_lost, _, (_, _, j_viol) = find "journaled" in
+  (* The adversarial hunter at the same protection level, budget-bounded so
+     CI cost stays fixed; a finding fails the bench with a shrunk repro. *)
+  let hunt_budget = if !fast then 10 else 40 in
+  let hunt_intervals = if !fast then 4 else 6 in
+  Printf.printf "hunting for guarantee violations (budget %d runs)...\n%!" hunt_budget;
+  let hr =
+    Ffc_check.Chaos.hunt ~seed:42 ~budget:hunt_budget ~sites:4 ~intervals:hunt_intervals
+      ~kc:protection.Te_types.kc ~ke:protection.Te_types.ke ~kv:protection.Te_types.kv ()
+  in
+  Format.printf "%a@." Ffc_check.Chaos.pp_report hr;
+  (match hr.Ffc_check.Chaos.h_finding with
+  | None -> ()
+  | Some f ->
+    let oc = open_out "CHAOS_repro.ml" in
+    Printf.fprintf oc "(* chaos finding, hunt seed 42\n   %s *)\n%s\n"
+      f.Ffc_check.Chaos.c_min_message f.Ffc_check.Chaos.c_repro;
+    close_out oc;
+    Printf.printf "wrote CHAOS_repro.ml\n");
+  let check name ok = Printf.printf "  %-52s %s\n" name (if ok then "PASS" else "FAIL") in
+  let ok1 = c_down >= 1 && j_down >= 1 && c_recov >= 1 && j_recov >= 1 && j_journal >= 1 in
+  let ok2 = j_lost <= c_lost +. (1e-6 *. (1. +. c_lost)) in
+  let ok3 = j_viol = 0 in
+  let ok4 = hr.Ffc_check.Chaos.h_finding = None in
+  check "downtime + recovery exercised, journal restored" ok1;
+  check "journaled recovery loses no more than cold" ok2;
+  check "zero kc-guarantee violations (journaled arm)" ok3;
+  check "hunter finds no violation within protection" ok4;
+  let json =
+    let arm_json (name, down, recov, j, lost, wlost, (ok, bb, vi)) =
+      Printf.sprintf
+        "    { \"name\": \"%s\", \"intervals\": %d, \"down_intervals\": %d,\n\
+        \      \"recovery_intervals\": %d, \"journal_recoveries\": %d,\n\
+        \      \"lost_gb\": %.6f, \"outage_window_lost_gb\": %.6f,\n\
+        \      \"kc_ok\": %d, \"kc_beyond_budget\": %d, \"kc_violations\": %d }"
+        name n down recov j lost wlost ok bb vi
+    in
+    Printf.sprintf
+      "{\n\
+      \  \"scenario\": \"%s\",\n\
+      \  \"scale\": %.1f,\n\
+      \  \"protection\": \"kc=%d,ke=%d,kv=%d\",\n\
+      \  \"switch_model\": \"%s\",\n\
+      \  \"crash_interval\": %d,\n\
+      \  \"downtime_s\": %.0f,\n\
+      \  \"arms\": [\n%s\n  ],\n\
+      \  \"hunter\": { \"budget\": %d, \"evaluated\": %d, \"best_score\": %.6f,\n\
+      \              \"violation_found\": %b },\n\
+      \  \"contracts\": { \"recovery_exercised\": %b, \"journal_no_worse\": %b,\n\
+      \                 \"zero_violations\": %b, \"hunter_clean\": %b }\n\
+       }\n"
+      sc.Sim.Scenario.name scale protection.Te_types.kc protection.Te_types.ke
+      protection.Te_types.kv um.Sim.Update_model.name crash_at downtime_s
+      (String.concat ",\n" (List.map arm_json summaries))
+      hunt_budget hr.Ffc_check.Chaos.h_evaluated hr.Ffc_check.Chaos.h_best_score
+      (hr.Ffc_check.Chaos.h_finding <> None)
+      ok1 ok2 ok3 ok4
+  in
+  let oc = open_out "BENCH_chaos.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_chaos.json\n";
+  if not (ok1 && ok2 && ok3 && ok4) then
+    failwith "chaos: crash-recovery / guarantee-hunt contract violated"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1523,6 +1701,7 @@ let experiments =
     ("resilience", resilience);
     ("southbound", southbound);
     ("fuzz", fuzz);
+    ("chaos", chaos);
   ]
 
 let () =

@@ -293,6 +293,33 @@ let fuzz_cmd seed count budget_ms oracles repro_out =
     exit 1
 
 (* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_cmd seed budget sites intervals scale realistic kc ke kv repro_out =
+  let module Chaos = Ffc_check.Chaos in
+  Printf.printf
+    "chaos hunt: kc=%d ke=%d kv=%d, %d-site L-Net, %d intervals, scale %g, %s model, \
+     budget %d run(s), seed %d\n\
+     %!"
+    kc ke kv sites intervals scale
+    (if realistic then "realistic" else "optimistic")
+    budget seed;
+  let report =
+    Chaos.hunt ~seed ~budget ~sites ~intervals ~scale ~realistic ~kc ~ke ~kv ()
+  in
+  Format.printf "%a@." Chaos.pp_report report;
+  match report.Chaos.h_finding with
+  | None -> ()
+  | Some f ->
+    let oc = open_out repro_out in
+    Printf.fprintf oc "(* chaos finding, hunt seed %d\n   %s *)\n%s\n" seed
+      f.Chaos.c_min_message f.Chaos.c_repro;
+    close_out oc;
+    Printf.printf "minimal repro written to %s\n" repro_out;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner plumbing                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -396,6 +423,37 @@ let fuzz_repro_out =
 let fuzz_t =
   Term.(const fuzz_cmd $ seed $ fuzz_count $ fuzz_budget $ fuzz_oracles $ fuzz_repro_out)
 
+let chaos_budget =
+  Arg.(value & opt int 48 & info [ "budget" ] ~doc:"Simulator runs the hunt may spend")
+
+let chaos_sites =
+  Arg.(value & opt int 4 & info [ "sites" ] ~doc:"L-Net size the hunt plans against")
+
+let chaos_intervals =
+  Arg.(value & opt int 6 & info [ "intervals" ] ~doc:"Intervals per chaos plan")
+
+let chaos_scale =
+  Arg.(value & opt float 1.2 & info [ "scale" ] ~doc:"Traffic scale of the hunted scenario")
+
+let chaos_realistic =
+  Arg.(
+    value & flag
+    & info [ "realistic" ] ~doc:"Use the realistic (lossy) southbound update model")
+
+let chaos_kc = Arg.(value & opt int 2 & info [ "kc" ] ~doc:"Config-fault protection")
+let chaos_ke = Arg.(value & opt int 1 & info [ "ke" ] ~doc:"Link-failure protection")
+let chaos_kv = Arg.(value & opt int 0 & info [ "kv" ] ~doc:"Switch-failure protection")
+
+let chaos_repro_out =
+  Arg.(
+    value & opt string "CHAOS_repro.ml"
+    & info [ "repro-out" ] ~doc:"Where to write the minimal repro snippet on a finding")
+
+let chaos_t =
+  Term.(
+    const chaos_cmd $ seed $ chaos_budget $ chaos_sites $ chaos_intervals $ chaos_scale
+    $ chaos_realistic $ chaos_kc $ chaos_ke $ chaos_kv $ chaos_repro_out)
+
 let cmds =
   [
     Cmd.v (Cmd.info "topo" ~doc:"Print a generated network") topo_t;
@@ -412,6 +470,12 @@ let cmds =
       (Cmd.info "fuzz"
          ~doc:"Differential fuzzing of the LP/FFC/simulator pipeline with shrinking")
       fuzz_t;
+    Cmd.v
+      (Cmd.info "chaos"
+         ~doc:
+           "Adversarially hunt fault sequences and controller crash timings (within \
+            the configured protection) for FFC guarantee violations")
+      chaos_t;
   ]
 
 let () =

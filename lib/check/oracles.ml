@@ -536,8 +536,13 @@ let all () =
       ~repro:Gen.sim_snippet;
   ]
 
+(* The chaos oracle is selectable but not part of the default campaign: one
+   instance costs a multi-interval simulation, and the fuzz time budget is
+   shared across oracles, so it would starve the cheap ones. *)
+let available () = all () @ [ Chaos.oracle () ]
+
 let select names =
-  let avail = all () in
+  let avail = available () in
   let unknown =
     List.filter (fun n -> not (List.exists (fun o -> Fuzz.oracle_name o = n) avail)) names
   in

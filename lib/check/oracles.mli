@@ -28,11 +28,17 @@ val ffc_test : Gen.te -> Fuzz.verdict
 val sim_test : Gen.sim -> Fuzz.verdict
 
 val all : unit -> Fuzz.oracle list
-(** The four oracles, in the listing order that fixes their seed streams:
-    ["lp"], ["lu"], ["ffc"], ["sim"]. *)
+(** The four default-campaign oracles, in the listing order that fixes
+    their seed streams: ["lp"], ["lu"], ["ffc"], ["sim"]. *)
+
+val available : unit -> Fuzz.oracle list
+(** {!all} plus the opt-in ["chaos"] oracle ({!Chaos.oracle}) — selectable
+    by name but excluded from default campaigns, where one multi-interval
+    simulation per instance would starve the cheap oracles under the shared
+    time budget. *)
 
 val select : string list -> (Fuzz.oracle list, string) result
-(** Subset of {!all} by name, kept in {!all}'s order. Unknown names yield
-    [Error]. Note that {!Fuzz.run} splits seed streams by list position, so
-    a subset run draws different instances than the same oracle in a full
-    run. *)
+(** Subset of {!available} by name, kept in listing order. Unknown names
+    yield [Error]. Note that {!Fuzz.run} splits seed streams by list
+    position, so a subset run draws different instances than the same
+    oracle in a full run. *)

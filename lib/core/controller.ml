@@ -84,6 +84,56 @@ let create cfg =
     deepest_rung = 0;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Crash-recovery journal                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The warm-start basis caches are deliberately NOT journaled. They are
+   solver-internal state (Problem.basis values tied to the LP shapes of the
+   current rung set), large relative to everything else here, and entirely
+   re-derivable: the first step after a restore simply cold-starts each
+   rung's LP and repopulates the cache — a one-interval warm-up cost.
+   Journaling them would drag the simplex's internal representation into
+   the serialization compatibility contract for state that carries no
+   guarantee. What matters for continuity is journaled: the lifetime
+   telemetry counters (so operators see one controller lifetime across
+   restarts) and the audit RNG state (so the sampled-guarantee audit stream
+   continues bit-for-bit instead of replaying the same cases). *)
+
+let snapshot t =
+  let w = Journal.writer "controller" in
+  Journal.put_int w "steps" t.steps;
+  Journal.put_int w "total_fallbacks" t.total_fallbacks;
+  Journal.put_int w "total_deadline_hits" t.total_deadline_hits;
+  Journal.put_int w "total_audit_cases" t.total_audit_cases;
+  Journal.put_int w "total_audit_violations" t.total_audit_violations;
+  Journal.put_int w "deepest_rung" t.deepest_rung;
+  Journal.put_int64 w "audit_rng" (Rng.to_state t.audit_rng);
+  Journal.to_string w
+
+let restore cfg s =
+  let ( let* ) = Result.bind in
+  let* r = Journal.expect "controller" (Journal.of_string s) in
+  let* steps = Journal.get_int r "steps" in
+  let* total_fallbacks = Journal.get_int r "total_fallbacks" in
+  let* total_deadline_hits = Journal.get_int r "total_deadline_hits" in
+  let* total_audit_cases = Journal.get_int r "total_audit_cases" in
+  let* total_audit_violations = Journal.get_int r "total_audit_violations" in
+  let* deepest_rung = Journal.get_int r "deepest_rung" in
+  let* audit_state = Journal.get_int64 r "audit_rng" in
+  Ok
+    {
+      cfg;
+      audit_rng = Rng.of_state audit_state;
+      bases = [] (* dropped on purpose; see the note above *);
+      steps;
+      total_fallbacks;
+      total_deadline_hits;
+      total_audit_cases;
+      total_audit_violations;
+      deepest_rung;
+    }
+
 let total_fallbacks t = t.total_fallbacks
 let total_deadline_hits t = t.total_deadline_hits
 let total_audit_cases t = t.total_audit_cases

@@ -159,6 +159,24 @@ val audit_class :
     first, then up to [budget - 1] random {!Enumerate.check_data_case} /
     {!Enumerate.check_control_case} draws within the protection level. *)
 
+(** {2 Crash-recovery journal} *)
+
+val snapshot : t -> string
+(** Serialize the controller's guarantee-relevant state to a {!Journal}
+    document: lifetime telemetry counters and the audit RNG state (so the
+    sampled-guarantee audit stream continues bit-for-bit after a restart).
+    The warm-start basis caches are deliberately dropped — they are
+    solver-internal, large, and re-derivable, so a restored controller
+    pays a one-interval cold-start on each rung's LP instead of dragging
+    simplex internals into the serialization contract. *)
+
+val restore : config -> string -> (t, string) result
+(** Rebuild a controller from a {!snapshot}. The [config] comes from the
+    caller, as on a real restart (mode closures are not serializable; the
+    restarted binary brings its own configuration). [Error] on a version
+    mismatch, a different component's document, or a missing/corrupt
+    field — never a silently-partial restore. *)
+
 (** {2 Lifetime telemetry} *)
 
 val steps_taken : t -> int

@@ -19,13 +19,51 @@ type t = {
   link_fail_per_interval : float;
       (** probability that any given fibre fails during one interval *)
   switch_fail_per_interval : float;
+  srlgs : int list list;
+      (** shared-risk link groups beyond the implicit per-fibre ones: each
+          group lists directed link ids that fail together (a conduit cut
+          severing several fibres at once) *)
+  srlg_fail_per_interval : float;
+      (** probability that any given shared-risk group is cut during one
+          interval *)
+  burst_prob : float;
+      (** probability that an interval is a {e burst window} — a maintenance
+          accident or weather event during which every failure probability
+          is multiplied by [burst_factor] (capped at 1). [0.] disables
+          bursts and consumes no randomness. *)
+  burst_factor : float;  (** conditional elevation during a burst, >= 1 *)
 }
+
+val independent :
+  link_fail_per_interval:float -> switch_fail_per_interval:float -> t
+(** A purely independent model: no shared-risk groups, no bursts. *)
 
 val lnet_like : Topology.t -> t
 (** One link failure per 30 min network-wide (one per 6 intervals), switch
-    failures 20x rarer, scaled by the number of fibres/switches. *)
+    failures 20x rarer, scaled by the number of fibres/switches.
+    Independent faults only — layer correlation on with {!correlated}. *)
 
 val none : t
+
+val correlated :
+  ?srlgs:int list list ->
+  ?srlg_fail_per_interval:float ->
+  ?burst_prob:float ->
+  ?burst_factor:float ->
+  t ->
+  t
+(** Layer correlated-failure structure onto an existing model. Validates
+    the fields (probabilities in [0, 1], factor >= 1, no empty group).
+    Adding correlation changes the random stream only where the new
+    features actually draw — a model with [burst_prob = 0.] and no SRLGs
+    samples bit-identical timelines to one built before these features
+    existed. *)
+
+val random_srlgs :
+  Ffc_util.Rng.t -> Topology.t -> groups:int -> width:int -> int list list
+(** [groups] random shared-risk groups, each the union of [width] distinct
+    fibres (a shared conduit cut) — for experiments that want correlated
+    structure without hand-picking fibres. *)
 
 val fibres : Topology.t -> int list list
 (** Undirected fibre groups: each group lists the directed link ids that

@@ -4,6 +4,31 @@ module Rng = Ffc_util.Rng
 
 type mode = Reactive | Proactive of (int -> Ffc.config)
 
+type recovery = Cold_restart | Journaled_restart
+
+type outage_model = {
+  crash_per_interval : float;
+  downtime_median_s : float;
+  downtime_sigma : float;
+  forced_crashes : (int * float) list;
+  recovery : recovery;
+}
+
+let controller_outage ?(crash_per_interval = 0.) ?(downtime_median_s = 600.)
+    ?(downtime_sigma = 0.6) ?(forced_crashes = []) recovery =
+  if crash_per_interval < 0. || crash_per_interval > 1. then
+    invalid_arg "Interval_sim.controller_outage: crash_per_interval outside [0, 1]";
+  if downtime_median_s <= 0. then
+    invalid_arg "Interval_sim.controller_outage: downtime_median_s <= 0";
+  if downtime_sigma < 0. then
+    invalid_arg "Interval_sim.controller_outage: negative downtime_sigma";
+  List.iter
+    (fun (i, d) ->
+      if i < 0 then invalid_arg "Interval_sim.controller_outage: negative interval";
+      if d <= 0. then invalid_arg "Interval_sim.controller_outage: downtime <= 0")
+    forced_crashes;
+  { crash_per_interval; downtime_median_s; downtime_sigma; forced_crashes; recovery }
+
 type config = {
   mode : mode;
   interval_s : float;
@@ -17,10 +42,11 @@ type config = {
   max_iterations : int option;
   audit_budget : int;
   retry : Southbound.retry_policy;
+  outage : outage_model option;
 }
 
 let default_config ?deadline_ms ?max_iterations ?(audit_budget = 8)
-    ?(retry = Southbound.default_retry) ~mode ~update_model fault_model =
+    ?(retry = Southbound.default_retry) ?outage ~mode ~update_model fault_model =
   {
     mode;
     interval_s = 300.;
@@ -34,6 +60,7 @@ let default_config ?deadline_ms ?max_iterations ?(audit_budget = 8)
     max_iterations;
     audit_budget;
     retry;
+    outage;
   }
 
 type class_stats = {
@@ -62,6 +89,9 @@ type interval_stats = {
   kc_verdict : Southbound.verdict;
   kc_checked : int;
   escalated : bool;
+  controller_down : bool;
+  recovered_from_journal : bool;
+  recovery_interval : bool;
 }
 
 let total_lost s =
@@ -78,251 +108,459 @@ let total_delivered s = Array.fold_left (fun acc c -> acc +. c.delivered_gb) 0. 
    controller also carries the per-(rung, class) warm-start basis caches —
    successive intervals re-solve the same formulation with perturbed
    demands, so warm-starting from the last optimal basis cuts iterations. *)
-let controller cfg seed =
+let controller_config cfg seed =
   let mode =
     match cfg.mode with
     | Reactive -> Controller.Basic
     | Proactive config_of -> Controller.Ffc_ladder config_of
   in
-  Controller.create
-    (Controller.config ?deadline_ms:cfg.deadline_ms ?max_iterations:cfg.max_iterations
-       ~audit_budget:cfg.audit_budget ~audit_seed:seed mode)
+  Controller.config ?deadline_ms:cfg.deadline_ms ?max_iterations:cfg.max_iterations
+    ~audit_budget:cfg.audit_budget ~audit_seed:seed mode
 
+(* Reaction latency of the corrective mid-interval update: each ingress runs
+   its own retry timeline mirroring the southbound push (failures detected
+   immediately, then backoff; stragglers abandoned at the per-attempt
+   timeout), and the correction is effective once the slowest ingress lands.
+   An ingress that exhausts its attempts without landing pins the completion
+   at the interval end — the next interval's re-plan supersedes it — never at
+   infinity (the previous model returned [infinity] whenever any single
+   attempt failed, as if one dropped RPC cancelled the whole correction for
+   the rest of the interval). *)
 let reaction_delay rng cfg n_switches =
+  let p = cfg.retry in
   let worst = ref 0. in
-  let failed = ref false in
   for _ = 1 to max 1 n_switches do
-    match Update_model.attempt_update rng cfg.update_model with
-    | Update_model.Failed -> failed := true
-    | Update_model.Completed d -> worst := max !worst d
+    let tl = ref 0. in
+    let attempt = ref 0 in
+    let landed = ref None in
+    while
+      !landed = None
+      && !attempt < p.Southbound.max_attempts
+      && !tl < cfg.interval_s
+    do
+      incr attempt;
+      match Update_model.attempt_update rng cfg.update_model with
+      | Update_model.Failed ->
+        tl := !tl +. Southbound.backoff_delay p rng ~attempt:!attempt
+      | Update_model.Completed d when d > p.Southbound.attempt_timeout_s ->
+        tl :=
+          !tl +. p.Southbound.attempt_timeout_s
+          +. Southbound.backoff_delay p rng ~attempt:!attempt
+      | Update_model.Completed d -> landed := Some (!tl +. d)
+    done;
+    let finish = match !landed with Some t -> t | None -> cfg.interval_s in
+    worst := max !worst finish
   done;
-  if !failed then infinity else cfg.compute_s +. !worst
+  cfg.compute_s +. !worst
 
 let run ~rng cfg (input : Te_types.input) ~demand_series =
   (* Independent sub-streams so that the injected fault sequence is
      identical across TE modes run from the same seed (the mode only
-     changes how many update/reaction samples are drawn). *)
+     changes how many update/reaction samples are drawn). The chaos stream
+     is split last, after the original three, so fault/update/audit
+     timelines from a given seed are unchanged by the availability layer. *)
   let fault_rng = Rng.split rng in
   let update_rng = Rng.split rng in
   let audit_rng = Rng.split rng in
+  let chaos_rng = Rng.split rng in
   let nflows = Array.length input.Te_types.demands in
   let nclasses = Loss.num_classes input in
   let ingresses =
     List.sort_uniq compare (List.map (fun (f : Flow.t) -> f.Flow.src) input.Te_types.flows)
   in
   let backlog = Array.make nflows 0. in
-  let ctrl = controller cfg (Rng.int audit_rng 0x3FFFFFFF) in
+  let ccfg = controller_config cfg (Rng.int audit_rng 0x3FFFFFFF) in
+  let ctrl = ref (Controller.create ccfg) in
   (* The southbound engine replaces the old fire-and-forget push: it owns
      the per-switch installed state (epochs, outages) across intervals. *)
-  let engine = Southbound.create ~retry:cfg.retry cfg.update_model input in
+  let engine = ref (Southbound.create ~retry:cfg.retry cfg.update_model input) in
   (* Per-flow sending rates the host rate limiters currently enforce (they
      always update, even when a switch's splits do not — §2.2). *)
   let enforced_bf = ref (Array.make nflows 0.) in
+  (* Controller availability: absolute time until which the controller is
+     down, the journal captured after the last completed step+push, and the
+     effective kc of that step (the level the coasting network's standing
+     configuration was last verified at). *)
+  let down_until = ref neg_infinity in
+  let was_down = ref false in
+  let journal = ref None in
+  let last_kc = ref 0 in
   let results = ref [] in
+  (* Play one interval's fault timeline against fixed [target] splits.
+     [react = None] means the controller is down: faults still blackhole and
+     ingresses still rescale locally (data-plane mechanisms), but no
+     corrective update is ever scheduled. Returns the per-class losses, the
+     peak oversubscription and whether a correction was scheduled. *)
+  let play input_t ~target ~stuck_set ~react faults =
+    let failed_links = Hashtbl.create 8 and failed_switches = Hashtbl.create 4 in
+    let is_failed_link l = Hashtbl.mem failed_links l in
+    let is_failed_switch v = Hashtbl.mem failed_switches v in
+    let current_rates () =
+      Rescale.rescale input_t target ~stuck:stuck_set
+        ~old_alloc_of:(Southbound.running !engine)
+        ~failed_links:is_failed_link ~failed_switches:is_failed_switch ()
+    in
+    let lost_congestion = Array.make nclasses 0. in
+    let lost_blackhole = Array.make nclasses 0. in
+    let max_oversub = ref 0. in
+    let reacted = ref false in
+    let cum_link_faults = ref 0 and cum_switch_faults = ref 0 in
+    (* Time at which the controller's corrective update lands (congestion
+       assumed cleared from then until the next fault). *)
+    let reaction_done = ref infinity in
+    let schedule_reaction now =
+      reacted := true;
+      let d = reaction_delay update_rng cfg (List.length ingresses) in
+      let at = now +. cfg.detect_s +. cfg.notify_s +. d in
+      reaction_done := min at cfg.interval_s
+    in
+    let rates = ref (current_rates ()) in
+    (* Control-plane faults: if the mix congests, a reactive (or
+       beyond-protection) controller fixes it after a reaction delay. *)
+    (match react with
+    | None -> ()
+    | Some _ ->
+      let initial_congestion =
+        Array.fold_left ( +. ) 0. (Loss.congestion_rates input_t !rates.Rescale.tunnel_rates)
+      in
+      if initial_congestion > 1e-9 then schedule_reaction 0.);
+    (* Accrue loss over [t0, t1) for the current rates; congestion and
+       undeliverable traffic stop at [reaction_done]. *)
+    let accrue t0 t1 =
+      if t1 > t0 then begin
+        let lossy_until = min t1 (max t0 !reaction_done) in
+        let lossy_dur =
+          if !reaction_done >= t1 then t1 -. t0
+          else if !reaction_done <= t0 then 0.
+          else lossy_until -. t0
+        in
+        if lossy_dur > 0. then begin
+          let cong = Loss.congestion_rates input_t !rates.Rescale.tunnel_rates in
+          Array.iteri
+            (fun cls c -> lost_congestion.(cls) <- lost_congestion.(cls) +. (c *. lossy_dur))
+            cong;
+          let undeliv =
+            Loss.class_rate input_t (fun f -> !rates.Rescale.undeliverable.(f))
+          in
+          Array.iteri
+            (fun cls u -> lost_blackhole.(cls) <- lost_blackhole.(cls) +. (u *. lossy_dur))
+            undeliv;
+          max_oversub :=
+            max !max_oversub
+              (Loss.max_oversubscription input_t !rates.Rescale.tunnel_rates)
+        end
+      end
+    in
+    let cursor = ref 0. in
+    List.iter
+      (fun (fault : Fault_model.fault) ->
+        let t = min fault.Fault_model.time_s cfg.interval_s in
+        accrue !cursor t;
+        cursor := t;
+        (* Blackhole burst: traffic on the newly-dead tunnels until the
+           ingresses rescale. *)
+        let newly_dead l v =
+          match fault.Fault_model.kind with
+          | Fault_model.Link_down ids -> List.mem l ids && not (is_failed_link l)
+          | Fault_model.Switch_down s -> v = s
+        in
+        let burst = Array.make nclasses 0. in
+        List.iter
+          (fun (f : Flow.t) ->
+            let id = f.Flow.id in
+            List.iteri
+              (fun ti (tn : Tunnel.t) ->
+                let r = !rates.Rescale.tunnel_rates.(id).(ti) in
+                if
+                  r > 0.
+                  && List.exists
+                       (fun (l : Topology.link) ->
+                         newly_dead l.Topology.id l.Topology.src
+                         || newly_dead l.Topology.id l.Topology.dst)
+                       tn.Tunnel.links
+                then burst.(f.Flow.priority) <- burst.(f.Flow.priority) +. r)
+              f.Flow.tunnels)
+          input.Te_types.flows;
+        let burst_dur = min (cfg.detect_s +. cfg.notify_s) (cfg.interval_s -. t) in
+        Array.iteri
+          (fun cls b -> lost_blackhole.(cls) <- lost_blackhole.(cls) +. (b *. burst_dur))
+          burst;
+        (* Apply the fault and rescale. *)
+        (match fault.Fault_model.kind with
+        | Fault_model.Link_down ids ->
+          incr cum_link_faults;
+          List.iter (fun l -> Hashtbl.replace failed_links l ()) ids
+        | Fault_model.Switch_down v ->
+          incr cum_switch_faults;
+          Hashtbl.replace failed_switches v ());
+        rates := current_rates ();
+        (* React at the edge of protection (§8.1): a reactive controller on
+           every fault; a proactive one once cumulative faults reach the
+           smallest protection level of any class (or on any fault of an
+           unprotected kind). A down controller never reacts. *)
+        let must_react =
+          match react with
+          | None -> false
+          | Some (edge_ke, edge_kv) -> (
+            match cfg.mode with
+            | Reactive -> true
+            | Proactive _ ->
+              !cum_link_faults >= max 1 edge_ke || !cum_switch_faults >= max 1 edge_kv)
+        in
+        if must_react then schedule_reaction t)
+      faults;
+    accrue !cursor cfg.interval_s;
+    (lost_congestion, lost_blackhole, !max_oversub, !reacted)
+  in
+  let sample_faults interval_idx =
+    match cfg.forced_faults with
+    | Some gen -> gen fault_rng interval_idx
+    | None ->
+      Fault_model.sample fault_rng ~interval_s:cfg.interval_s input.Te_types.topo
+        cfg.fault_model
+  in
+  let class_totals input_t ~demands ~granted_of lost_congestion lost_blackhole =
+    let offered = Loss.class_rate input_t (fun f -> demands.(f)) in
+    let granted = Loss.class_rate input_t granted_of in
+    Array.init nclasses (fun cls ->
+        let granted_gb = granted.(cls) *. cfg.interval_s in
+        let lost = lost_congestion.(cls) +. lost_blackhole.(cls) in
+        {
+          offered_gb = offered.(cls) *. cfg.interval_s;
+          granted_gb;
+          delivered_gb = max 0. (granted_gb -. lost);
+          lost_congestion_gb = lost_congestion.(cls);
+          lost_blackhole_gb = lost_blackhole.(cls);
+        })
+  in
   Array.iteri
     (fun interval_idx base_demands ->
+      let t_start = float_of_int interval_idx *. cfg.interval_s in
+      (* Crash process: a forced crash for this interval takes precedence
+         (and consumes no randomness, so bench arms can impose identical
+         crash timing); otherwise an up controller crashes with the
+         configured per-interval probability, for a lognormal downtime.
+         Crashes land at the interval edge — any positive downtime takes
+         out at least the current interval's step. *)
+      (match cfg.outage with
+      | None -> ()
+      | Some om ->
+        if t_start +. 1e-9 >= !down_until then begin
+          let downtime =
+            match List.assoc_opt interval_idx om.forced_crashes with
+            | Some d -> Some d
+            | None ->
+              if om.crash_per_interval > 0. && Rng.bernoulli chaos_rng om.crash_per_interval
+              then
+                Some
+                  (Rng.lognormal chaos_rng ~mu:(log om.downtime_median_s)
+                     ~sigma:om.downtime_sigma)
+              else None
+          in
+          match downtime with
+          | Some d -> down_until := t_start +. d
+          | None -> ()
+        end);
+      let down = t_start +. 1e-9 < !down_until in
+      let recovery = (not down) && !was_down in
+      (* Restart: a journaled controller resumes from the snapshot taken
+         after its last completed step+push (the engine state is replayed
+         through the serialization path end-to-end, then ticked through the
+         coasted intervals — legitimate, since nothing but the clock moved
+         while the controller was down). A cold restart keeps the real
+         network state (switches do not forget their configs when the
+         controller dies) but boots a blind controller. *)
+      let recovered = ref false in
+      if recovery then begin
+        match (cfg.outage, !journal) with
+        | Some { recovery = Journaled_restart; _ }, Some (cs, es) ->
+          let c =
+            match Controller.restore ccfg cs with
+            | Ok c -> c
+            | Error m -> invalid_arg ("Interval_sim: controller journal: " ^ m)
+          in
+          let e =
+            match Southbound.restore ~retry:cfg.retry cfg.update_model input es with
+            | Ok e -> e
+            | Error m -> invalid_arg ("Interval_sim: southbound journal: " ^ m)
+          in
+          while Southbound.now_s e +. 1e-9 < t_start do
+            Southbound.tick e ~interval_s:cfg.interval_s
+          done;
+          ctrl := c;
+          engine := e;
+          recovered := true
+        | _ ->
+          (* Cold restart — or a crash before the first snapshot existed. *)
+          ctrl := Controller.create ccfg
+      end;
       let demands =
         Array.init nflows (fun f -> base_demands.(f) +. (backlog.(f) /. cfg.interval_s))
       in
       let input_t = { input with Te_types.demands } in
-      (* Staleness feedback: the controller solves against what the network
-         actually imposes (enforced rates split by installed weights), and
-         escalates kc when more ingresses are stale than the configured
-         protection covers. *)
-      let stale_before = List.length (Southbound.stale_switches engine) in
-      let mixed_prev = Southbound.imposed_mix engine input_t ~rates:!enforced_bf in
-      (* Links the previous state already overloaded get unprotected moves
-         from the formulation (§4.5); the live checker must skip exactly
-         those. *)
-      let prev_loads = Te_types.link_loads input_t mixed_prev in
+      (* What the network actually imposes right now, and which links were
+         already overloaded before any new target (those get unprotected
+         moves from the formulation, §4.5, so the live checker skips exactly
+         those). Always computed from the real engine — even a blind
+         controller is judged against the network's true state. *)
+      let real_prev = Southbound.imposed_mix !engine input_t ~rates:!enforced_bf in
+      let prev_loads = Te_types.link_loads input_t real_prev in
       let grandfathered =
         let links = Topology.links input.Te_types.topo in
         fun lid -> prev_loads.(lid) > (links.(lid)).Topology.capacity +. 1e-6
       in
-      let step = Controller.step ctrl ~stale:stale_before input_t ~prev:mixed_prev in
-      let target = step.Controller.alloc in
-      (* --- push the update through the retrying southbound engine --- *)
-      let sb =
-        Southbound.push engine update_rng input_t ~target ~interval_s:cfg.interval_s
-      in
-      enforced_bf := target.Te_types.bf;
-      let stuck_set v = List.mem v sb.Southbound.stale in
-      (* Live configuration-fault guarantee check at the protection level the
-         controller actually delivered this interval. *)
-      let kc_checked = Controller.step_kc step in
-      let kc_verdict =
-        Southbound.check_guarantee engine ~grandfathered input_t ~target ~kc:kc_checked
-      in
-      (* --- data-plane faults for this interval --- *)
-      let faults =
-        match cfg.forced_faults with
-        | Some gen -> gen fault_rng interval_idx
-        | None ->
-          Fault_model.sample fault_rng ~interval_s:cfg.interval_s input.Te_types.topo
-            cfg.fault_model
-      in
-      let failed_links = Hashtbl.create 8 and failed_switches = Hashtbl.create 4 in
-      let is_failed_link l = Hashtbl.mem failed_links l in
-      let is_failed_switch v = Hashtbl.mem failed_switches v in
-      let current_rates () =
-        Rescale.rescale input_t target ~stuck:stuck_set
-          ~old_alloc_of:(Southbound.running engine)
-          ~failed_links:is_failed_link ~failed_switches:is_failed_switch ()
-      in
-      (* --- timeline --- *)
-      let lost_congestion = Array.make nclasses 0. in
-      let lost_blackhole = Array.make nclasses 0. in
-      let max_oversub = ref 0. in
-      let reacted = ref false in
-      (* Reaction rule uses the protection the controller actually delivered
-         this interval (a degraded rung weakens the edge), not the requested
-         configuration. *)
-      let edge_ke, edge_kv = Controller.step_edge step in
-      let cum_link_faults = ref 0 and cum_switch_faults = ref 0 in
-      (* Time at which the controller's corrective update lands (congestion
-         assumed cleared from then until the next fault). *)
-      let reaction_done = ref infinity in
-      let schedule_reaction now =
-        reacted := true;
-        let d = reaction_delay update_rng cfg (List.length ingresses) in
-        let at = now +. cfg.detect_s +. cfg.notify_s +. d in
-        reaction_done := min at cfg.interval_s
-      in
-      let rates = ref (current_rates ()) in
-      (* Control-plane faults: if the mix congests, a reactive (or
-         beyond-protection) controller fixes it after a reaction delay. *)
-      let initial_congestion =
-        Array.fold_left ( +. ) 0. (Loss.congestion_rates input_t !rates.Rescale.tunnel_rates)
-      in
-      if initial_congestion > 1e-9 then schedule_reaction 0.;
-      (* Accrue loss over [t0, t1) for the current rates; congestion and
-         undeliverable traffic stop at [reaction_done]. *)
-      let accrue t0 t1 =
-        if t1 > t0 then begin
-          let lossy_until = min t1 (max t0 !reaction_done) in
-          let lossy_dur =
-            if !reaction_done >= t1 then t1 -. t0
-            else if !reaction_done <= t0 then 0.
-            else lossy_until -. t0
-          in
-          if lossy_dur > 0. then begin
-            let cong = Loss.congestion_rates input_t !rates.Rescale.tunnel_rates in
-            Array.iteri
-              (fun cls c -> lost_congestion.(cls) <- lost_congestion.(cls) +. (c *. lossy_dur))
-              cong;
-            let undeliv =
-              Loss.class_rate input_t (fun f -> !rates.Rescale.undeliverable.(f))
-            in
-            Array.iteri
-              (fun cls u -> lost_blackhole.(cls) <- lost_blackhole.(cls) +. (u *. lossy_dur))
-              undeliv;
-            max_oversub :=
-              max !max_oversub
-                (Loss.max_oversubscription input_t !rates.Rescale.tunnel_rates)
-          end
-        end
-      in
-      let cursor = ref 0. in
-      List.iter
-        (fun (fault : Fault_model.fault) ->
-          let t = min fault.Fault_model.time_s cfg.interval_s in
-          accrue !cursor t;
-          cursor := t;
-          (* Blackhole burst: traffic on the newly-dead tunnels until the
-             ingresses rescale. *)
-          let newly_dead l v =
-            match fault.Fault_model.kind with
-            | Fault_model.Link_down ids -> List.mem l ids && not (is_failed_link l)
-            | Fault_model.Switch_down s -> v = s
-          in
-          let burst = Array.make nclasses 0. in
-          List.iter
-            (fun (f : Flow.t) ->
-              let id = f.Flow.id in
-              List.iteri
-                (fun ti (tn : Tunnel.t) ->
-                  let r = !rates.Rescale.tunnel_rates.(id).(ti) in
-                  if
-                    r > 0.
-                    && List.exists
-                         (fun (l : Topology.link) ->
-                           newly_dead l.Topology.id l.Topology.src
-                           || newly_dead l.Topology.id l.Topology.dst)
-                         tn.Tunnel.links
-                  then burst.(f.Flow.priority) <- burst.(f.Flow.priority) +. r)
-                f.Flow.tunnels)
-            input.Te_types.flows;
-          let burst_dur = min (cfg.detect_s +. cfg.notify_s) (cfg.interval_s -. t) in
-          Array.iteri
-            (fun cls b -> lost_blackhole.(cls) <- lost_blackhole.(cls) +. (b *. burst_dur))
-            burst;
-          (* Apply the fault and rescale. *)
-          (match fault.Fault_model.kind with
-          | Fault_model.Link_down ids ->
-            incr cum_link_faults;
-            List.iter (fun l -> Hashtbl.replace failed_links l ()) ids
-          | Fault_model.Switch_down v ->
-            incr cum_switch_faults;
-            Hashtbl.replace failed_switches v ());
-          rates := current_rates ();
-          (* Fresh congestion re-arms the reaction decision. *)
-          (* React at the edge of protection (§8.1): a reactive controller on
-             every fault; a proactive one once cumulative faults reach the
-             smallest protection level of any class (or on any fault of an
-             unprotected kind). *)
-          let must_react =
-            match cfg.mode with
-            | Reactive -> true
-            | Proactive _ ->
-              !cum_link_faults >= max 1 edge_ke || !cum_switch_faults >= max 1 edge_kv
-          in
-          if must_react then schedule_reaction t)
-        faults;
-      accrue !cursor cfg.interval_s;
-      (* --- bookkeeping --- *)
-      let offered = Loss.class_rate input_t (fun f -> demands.(f)) in
-      let granted = Loss.class_rate input_t (fun f -> target.Te_types.bf.(f)) in
-      let per_class =
-        Array.init nclasses (fun cls ->
-            let granted_gb = granted.(cls) *. cfg.interval_s in
-            let lost = lost_congestion.(cls) +. lost_blackhole.(cls) in
-            {
-              offered_gb = offered.(cls) *. cfg.interval_s;
-              granted_gb;
-              delivered_gb = max 0. (granted_gb -. lost);
-              lost_congestion_gb = lost_congestion.(cls);
-              lost_blackhole_gb = lost_blackhole.(cls);
-            })
-      in
-      Array.iteri
-        (fun f d ->
-          backlog.(f) <- max 0. ((d -. target.Te_types.bf.(f)) *. cfg.interval_s))
-        demands;
-      let audit_cases, audit_violations =
-        match step.Controller.audit with
-        | Some a -> (a.Controller.audit_cases, a.Controller.audit_violations)
-        | None -> (0, 0)
-      in
-      results :=
-        {
-          per_class;
-          max_oversub_pct = !max_oversub;
-          control_faults = List.length sb.Southbound.stale;
-          data_faults = List.length faults;
-          reacted = !reacted;
-          solver_fallbacks = step.Controller.fallbacks;
-          rung = step.Controller.rung;
-          rung_label = step.Controller.label;
-          deadline_hits = step.Controller.deadline_hits;
-          stale_alloc = step.Controller.stale;
-          audit_cases;
-          audit_violations;
-          ladder = step.Controller.attempts;
-          southbound = sb;
-          kc_verdict;
-          kc_checked;
-          escalated = step.Controller.escalated;
-        }
-        :: !results)
+      if down then begin
+        (* The controller is down: no step, no push. Hosts keep enforcing
+           the last granted rates, switches keep their installed splits, and
+           the network coasts on that standing mixture while demands drift.
+           Data-plane faults still arrive (same fault stream — timelines
+           stay identical across recovery strategies) but nobody reacts. *)
+        was_down := true;
+        let coast = real_prev in
+        let kc_verdict =
+          Southbound.check_guarantee !engine ~grandfathered input_t ~target:coast
+            ~kc:!last_kc
+        in
+        let stale = Southbound.stale_switches !engine in
+        Southbound.tick !engine ~interval_s:cfg.interval_s;
+        let faults = sample_faults interval_idx in
+        let lost_congestion, lost_blackhole, max_oversub, _ =
+          play input_t ~target:coast ~stuck_set:(fun _ -> false) ~react:None faults
+        in
+        let per_class =
+          class_totals input_t ~demands
+            ~granted_of:(fun f -> !enforced_bf.(f))
+            lost_congestion lost_blackhole
+        in
+        Array.iteri
+          (fun f d -> backlog.(f) <- max 0. ((d -. !enforced_bf.(f)) *. cfg.interval_s))
+          demands;
+        let sb =
+          {
+            Southbound.epoch = Southbound.target_epoch !engine;
+            pushed = 0;
+            applied = [];
+            stale;
+            max_epoch_lag =
+              List.fold_left (fun acc v -> max acc (Southbound.epoch_lag !engine v)) 0 ingresses;
+            attempts = 0;
+            retries = 0;
+            retry_successes = 0;
+            failures = 0;
+            timeouts = 0;
+            outages_started = 0;
+          }
+        in
+        results :=
+          {
+            per_class;
+            max_oversub_pct = max_oversub;
+            control_faults = List.length stale;
+            data_faults = List.length faults;
+            reacted = false;
+            solver_fallbacks = 0;
+            rung = -1;
+            rung_label = "controller-down";
+            deadline_hits = 0;
+            stale_alloc = true;
+            audit_cases = 0;
+            audit_violations = 0;
+            ladder = [];
+            southbound = sb;
+            kc_verdict;
+            kc_checked = !last_kc;
+            escalated = false;
+            controller_down = true;
+            recovered_from_journal = false;
+            recovery_interval = false;
+          }
+          :: !results
+      end
+      else begin
+        was_down := false;
+        (* Staleness feedback: the controller solves against what the
+           network actually imposes (enforced rates split by installed
+           weights), and escalates kc when more ingresses are stale than
+           the configured protection covers. A cold-restarted controller is
+           blind on its recovery interval: no journal means no record of
+           the installed state, so it plans from a zero previous allocation
+           and an assumed-clean switch fleet (from the next interval the
+           push reports have re-synced its view). *)
+        let blind = recovery && not !recovered in
+        let stale_before =
+          if blind then 0 else List.length (Southbound.stale_switches !engine)
+        in
+        let mixed_prev =
+          if blind then Te_types.zero_allocation input_t else real_prev
+        in
+        let step = Controller.step !ctrl ~stale:stale_before input_t ~prev:mixed_prev in
+        let target = step.Controller.alloc in
+        (* --- push the update through the retrying southbound engine --- *)
+        let sb =
+          Southbound.push !engine update_rng input_t ~target ~interval_s:cfg.interval_s
+        in
+        enforced_bf := target.Te_types.bf;
+        let stuck_set v = List.mem v sb.Southbound.stale in
+        (* Live configuration-fault guarantee check at the protection level
+           the controller actually delivered this interval. *)
+        let kc_checked = Controller.step_kc step in
+        let kc_verdict =
+          Southbound.check_guarantee !engine ~grandfathered input_t ~target ~kc:kc_checked
+        in
+        last_kc := kc_checked;
+        (* Journal the post-step state — everything a restarted controller
+           needs to resume as if it never died. Snapshots are taken every
+           interval (not lazily at crash time): a real controller cannot
+           journal after it has crashed. *)
+        (match cfg.outage with
+        | Some { recovery = Journaled_restart; _ } ->
+          journal := Some (Controller.snapshot !ctrl, Southbound.snapshot !engine)
+        | _ -> ());
+        let faults = sample_faults interval_idx in
+        (* Reaction rule uses the protection the controller actually
+           delivered this interval (a degraded rung weakens the edge), not
+           the requested configuration. *)
+        let lost_congestion, lost_blackhole, max_oversub, reacted =
+          play input_t ~target ~stuck_set ~react:(Some (Controller.step_edge step)) faults
+        in
+        let per_class =
+          class_totals input_t ~demands
+            ~granted_of:(fun f -> target.Te_types.bf.(f))
+            lost_congestion lost_blackhole
+        in
+        Array.iteri
+          (fun f d ->
+            backlog.(f) <- max 0. ((d -. target.Te_types.bf.(f)) *. cfg.interval_s))
+          demands;
+        let audit_cases, audit_violations =
+          match step.Controller.audit with
+          | Some a -> (a.Controller.audit_cases, a.Controller.audit_violations)
+          | None -> (0, 0)
+        in
+        results :=
+          {
+            per_class;
+            max_oversub_pct = max_oversub;
+            control_faults = List.length sb.Southbound.stale;
+            data_faults = List.length faults;
+            reacted;
+            solver_fallbacks = step.Controller.fallbacks;
+            rung = step.Controller.rung;
+            rung_label = step.Controller.label;
+            deadline_hits = step.Controller.deadline_hits;
+            stale_alloc = step.Controller.stale;
+            audit_cases;
+            audit_violations;
+            ladder = step.Controller.attempts;
+            southbound = sb;
+            kc_verdict;
+            kc_checked;
+            escalated = step.Controller.escalated;
+            controller_down = false;
+            recovered_from_journal = !recovered;
+            recovery_interval = recovery;
+          }
+          :: !results
+      end)
     demand_series;
   List.rev !results

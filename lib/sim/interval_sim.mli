@@ -25,6 +25,47 @@ type mode =
   | Proactive of (int -> Ffc_core.Ffc.config)
       (** FFC configuration per priority class *)
 
+(** {2 Controller availability}
+
+    The TE controller itself can crash. While it is down no interval step
+    runs: the hosts keep enforcing the last granted rates, the switches keep
+    their installed splits, and the network {e coasts} on that standing
+    mixture while demands drift and data-plane faults keep arriving (same
+    fault stream, so timelines stay identical across recovery strategies) —
+    with nobody reacting. On restart the controller either resumes from its
+    crash-recovery journal ({!Ffc_core.Controller.snapshot} /
+    {!Southbound.snapshot}, replayed through the serialization path
+    end-to-end) or boots cold: the network state survives either way, but a
+    cold controller is {e blind} on its recovery interval — it plans from a
+    zero previous allocation and an assumed-clean switch fleet until the
+    push reports re-sync its view. *)
+
+type recovery =
+  | Cold_restart  (** fresh controller, blind recovery interval *)
+  | Journaled_restart  (** resume from the last interval's snapshots *)
+
+type outage_model = {
+  crash_per_interval : float;
+      (** probability an up controller crashes at a given interval edge *)
+  downtime_median_s : float;  (** lognormal downtime, by median... *)
+  downtime_sigma : float;  (** ...and shape *)
+  forced_crashes : (int * float) list;
+      (** [(interval, downtime_s)]: deterministic crashes, taking precedence
+          over the random process for that interval (and consuming no
+          randomness — bench arms can impose identical crash timing) *)
+  recovery : recovery;
+}
+
+val controller_outage :
+  ?crash_per_interval:float ->
+  ?downtime_median_s:float ->
+  ?downtime_sigma:float ->
+  ?forced_crashes:(int * float) list ->
+  recovery ->
+  outage_model
+(** Validated constructor. Defaults: no random crashes, median downtime
+    600 s (two intervals), sigma 0.6, no forced crashes. *)
+
 type config = {
   mode : mode;
   interval_s : float;
@@ -44,6 +85,8 @@ type config = {
       (** sampled guarantee-audit cases per accepted solve; [0] disables *)
   retry : Southbound.retry_policy;
       (** southbound push retry/timeout/backoff parameters *)
+  outage : outage_model option;
+      (** controller crash process; [None] = an always-up controller *)
 }
 
 val default_config :
@@ -51,12 +94,14 @@ val default_config :
   ?max_iterations:int ->
   ?audit_budget:int ->
   ?retry:Southbound.retry_policy ->
+  ?outage:outage_model ->
   mode:mode ->
   update_model:Update_model.t ->
   Fault_model.t ->
   config
 (** 300 s intervals, 5 ms detection, 50 ms notification, 500 ms compute, no
-    solve deadline, audit budget 8, {!Southbound.default_retry}. *)
+    solve deadline, audit budget 8, {!Southbound.default_retry}, no
+    controller outages. *)
 
 type class_stats = {
   offered_gb : float;  (** demand x interval, gigabits *)
@@ -94,10 +139,30 @@ type interval_stats = {
   escalated : bool;
       (** [true] iff the controller solved at a raised kc because more
           ingresses were stale than the configured protection covers *)
+  controller_down : bool;
+      (** [true] iff the controller was down this interval: no step ran, the
+          network coasted on the standing mixture ([rung] is [-1],
+          [rung_label] is ["controller-down"], and [kc_verdict] re-asserts
+          the standing configuration at the last delivered kc) *)
+  recovered_from_journal : bool;
+      (** [true] iff this interval's controller was rebuilt from the
+          crash-recovery journal (first up interval after a downtime under
+          {!Journaled_restart}) *)
+  recovery_interval : bool;
+      (** [true] iff this is the first up interval after a downtime
+          (whichever recovery strategy) *)
 }
 
 val total_lost : interval_stats -> float
 val total_delivered : interval_stats -> float
+
+val reaction_delay : Ffc_util.Rng.t -> config -> int -> float
+(** Latency of a corrective mid-interval update across [n] ingresses, each
+    on its own retry timeline under [config.retry] (mirroring
+    {!Southbound.push}: immediate failure detection plus backoff,
+    stragglers abandoned at the per-attempt timeout). Always finite: an
+    ingress that never lands pins its completion at the interval end — the
+    next interval's re-plan supersedes it. Exposed for testing. *)
 
 val run :
   rng:Ffc_util.Rng.t ->

@@ -98,6 +98,104 @@ let total_failures t = t.total_failures
 let total_timeouts t = t.total_timeouts
 let total_outages t = t.total_outages
 
+(* Coasting: the network clock advances even when no push happens — a
+   crashed controller cannot stop time, and switch outage deadlines are
+   absolute engine times. *)
+let tick t ~interval_s = t.now <- t.now +. interval_s
+
+(* ------------------------------------------------------------------ *)
+(* Crash-recovery journal                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_switches t =
+  List.sort compare (Hashtbl.fold (fun v _ acc -> v :: acc) t.switches [])
+
+let snapshot t =
+  let w = Journal.writer "southbound" in
+  Journal.put_int w "target_epoch" t.target_epoch;
+  Journal.put_float w "now" t.now;
+  Journal.put_int w "total_attempts" t.total_attempts;
+  Journal.put_int w "total_retries" t.total_retries;
+  Journal.put_int w "total_retry_successes" t.total_retry_successes;
+  Journal.put_int w "total_failures" t.total_failures;
+  Journal.put_int w "total_timeouts" t.total_timeouts;
+  Journal.put_int w "total_outages" t.total_outages;
+  let ids = sorted_switches t in
+  Journal.put w "switches" (String.concat "," (List.map string_of_int ids));
+  List.iter
+    (fun v ->
+      let st = state t v in
+      let key f = Printf.sprintf "switch.%d.%s" v f in
+      Journal.put_int w (key "epoch") st.epoch;
+      Journal.put_float w (key "outage_until") st.outage_until;
+      Journal.put_floats w (key "bf") st.running.Te_types.bf;
+      Journal.put_float_rows w (key "af") st.running.Te_types.af)
+    ids;
+  Journal.to_string w
+
+let restore ?retry model (input : Te_types.input) s =
+  let ( let* ) = Result.bind in
+  let* r = Journal.expect "southbound" (Journal.of_string s) in
+  let t = create ?retry model input in
+  let* target_epoch = Journal.get_int r "target_epoch" in
+  let* now = Journal.get_float r "now" in
+  let* total_attempts = Journal.get_int r "total_attempts" in
+  let* total_retries = Journal.get_int r "total_retries" in
+  let* total_retry_successes = Journal.get_int r "total_retry_successes" in
+  let* total_failures = Journal.get_int r "total_failures" in
+  let* total_timeouts = Journal.get_int r "total_timeouts" in
+  let* total_outages = Journal.get_int r "total_outages" in
+  let* ids = Journal.get r "switches" in
+  let journal_ids =
+    if ids = "" then Some []
+    else
+      let parts = String.split_on_char ',' ids in
+      let out = List.filter_map int_of_string_opt parts in
+      if List.length out = List.length parts then Some out else None
+  in
+  match journal_ids with
+  | None -> Error (Printf.sprintf "journal: unreadable switch list %S" ids)
+  | Some journal_ids ->
+    (* The journal must describe exactly this input's ingress set: a
+       snapshot from a different topology restored here would silently run
+       the wrong switches. *)
+    if journal_ids <> sorted_switches t then
+      Error "journal: switch set does not match the input's ingresses"
+    else begin
+      let nflows = Array.length input.Te_types.demands in
+      let rec fill = function
+        | [] ->
+          t.target_epoch <- target_epoch;
+          t.now <- now;
+          t.total_attempts <- total_attempts;
+          t.total_retries <- total_retries;
+          t.total_retry_successes <- total_retry_successes;
+          t.total_failures <- total_failures;
+          t.total_timeouts <- total_timeouts;
+          t.total_outages <- total_outages;
+          Ok t
+        | v :: rest ->
+          let key f = Printf.sprintf "switch.%d.%s" v f in
+          let* epoch = Journal.get_int r (key "epoch") in
+          let* outage_until = Journal.get_float r (key "outage_until") in
+          let* bf = Journal.get_floats r (key "bf") in
+          let* af = Journal.get_float_rows r (key "af") in
+          if Array.length bf <> nflows || Array.length af <> nflows then
+            Error
+              (Printf.sprintf
+                 "journal: switch %d allocation has %d/%d rows, input has %d flows" v
+                 (Array.length bf) (Array.length af) nflows)
+          else begin
+            let st = state t v in
+            st.epoch <- epoch;
+            st.outage_until <- outage_until;
+            st.running <- { Te_types.bf; af };
+            fill rest
+          end
+      in
+      fill journal_ids
+    end
+
 (* ------------------------------------------------------------------ *)
 (* Push                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -131,8 +229,7 @@ let needs_push (input : Te_types.input) (st : switch_state) v ~target =
       Array.exists2 (fun a b -> abs_float (a -. b) > 1e-6) w_new w_old)
     input.Te_types.flows
 
-let backoff_delay t rng ~attempt =
-  let p = t.retry in
+let backoff_delay p rng ~attempt =
   let base = p.backoff_base_s *. (p.backoff_mult ** float_of_int (attempt - 1)) in
   let capped = min p.backoff_max_s base in
   capped *. (1. +. (if p.jitter > 0. then p.jitter *. Rng.float rng 1. else 0.))
@@ -190,14 +287,15 @@ let push t rng (input : Te_types.input) ~target ~interval_s =
                 t.now +. !tl +. t.model.Update_model.outage_duration_s rng
             end;
             (* Failures are detected immediately (RPC error); back off. *)
-            tl := !tl +. backoff_delay t rng ~attempt:!attempt
+            tl := !tl +. backoff_delay t.retry rng ~attempt:!attempt
           | Update_model.Completed d ->
             if d > t.retry.attempt_timeout_s then begin
               (* Straggler: abandoned at the timeout, then backed off. *)
               incr timeouts;
               had_failure := true;
               tl :=
-                !tl +. t.retry.attempt_timeout_s +. backoff_delay t rng ~attempt:!attempt
+                !tl +. t.retry.attempt_timeout_s
+                +. backoff_delay t.retry rng ~attempt:!attempt
             end
             else if !tl +. d > interval_s then begin
               (* Completed, but past the interval edge: the interval ran on

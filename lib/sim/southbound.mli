@@ -126,6 +126,34 @@ val force_outage : t -> Ffc_net.Topology.switch -> until_s:float -> unit
 val now_s : t -> float
 val target_epoch : t -> int
 
+val tick : t -> interval_s:float -> unit
+(** Advance the engine clock without pushing anything — an interval during
+    which the controller is down. The network coasts: installed splits,
+    epochs and outage deadlines (absolute times) all keep their meaning. *)
+
+val backoff_delay : retry_policy -> Ffc_util.Rng.t -> attempt:int -> float
+(** The delay inserted after failed attempt number [attempt] (1-based):
+    [min backoff_max (base * mult^(attempt-1))], scaled by the jitter
+    factor. Exposed so other components replaying a retry timeline (e.g.
+    the simulator's reaction-delay model) use exactly the engine's
+    policy. *)
+
+(** {2 Crash-recovery journal} *)
+
+val snapshot : t -> string
+(** Serialize the full engine state to a {!Ffc_core.Journal} document:
+    target epoch, engine clock, lifetime counters, and per ingress switch
+    its epoch, outage deadline and installed allocation (floats encoded
+    exactly, so a restored engine behaves bit-for-bit like the original). *)
+
+val restore :
+  ?retry:retry_policy -> Update_model.t -> Te_types.input -> string -> (t, string) result
+(** Rebuild an engine from a {!snapshot} against the same input. The retry
+    policy and update model come from the caller's configuration, as on a
+    real restart. [Error] on a journal version mismatch, a different
+    component's document, a switch set that does not match [input]'s
+    ingresses, or any missing/corrupt field. *)
+
 (** {2 kc-guarantee checker} *)
 
 type violation = {

@@ -22,6 +22,12 @@ let split t =
 
 let copy t = { state = t.state }
 
+(* The whole generator is one int64, which is what makes crash-recovery
+   journaling of RNG-bearing components trivial: persist [to_state],
+   rebuild with [of_state], and the stream continues bit-for-bit. *)
+let to_state t = t.state
+let of_state state = { state }
+
 let float t bound =
   assert (bound > 0.);
   let bits = Int64.shift_right_logical (int64 t) 11 in
