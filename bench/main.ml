@@ -1617,8 +1617,11 @@ let chaos () =
   let hunt_intervals = if !fast then 4 else 6 in
   Printf.printf "hunting for guarantee violations (budget %d runs)...\n%!" hunt_budget;
   let hr =
+    (* telemetry:true seeds roughly half the restarts behind a lossy sensing
+       plane, so the CI hunt also attacks the imperfect-sensing layer. *)
     Ffc_check.Chaos.hunt ~seed:42 ~budget:hunt_budget ~sites:4 ~intervals:hunt_intervals
-      ~kc:protection.Te_types.kc ~ke:protection.Te_types.ke ~kv:protection.Te_types.kv ()
+      ~telemetry:true ~kc:protection.Te_types.kc ~ke:protection.Te_types.ke
+      ~kv:protection.Te_types.kv ()
   in
   Format.printf "%a@." Ffc_check.Chaos.pp_report hr;
   (match hr.Ffc_check.Chaos.h_finding with
@@ -1676,6 +1679,193 @@ let chaos () =
     failwith "chaos: crash-recovery / guarantee-hunt contract violated"
 
 (* ------------------------------------------------------------------ *)
+(* Imperfect sensing: lossy telemetry vs perfect visibility            *)
+(* ------------------------------------------------------------------ *)
+
+(* Three arms on the over-subscribed L-Net with one forced fibre cut per
+   interval (2 directed link ids, within ke = 2):
+
+   - perfect: no sensing plane at all (pre-PR controller input path);
+   - neutral: the telemetry plane at neutral parameters — the per-interval
+     stats must be bit-identical to the perfect arm (stream-compatibility
+     contract of the sensing layer);
+   - lossy: >= 20% report/notification loss, 2-interval fault-notification
+     delay and multiplicative demand noise, with the robust estimator
+     planning on a head-roomed envelope.
+
+   The headline contract is judged against ground truth: the lossy arm must
+   show zero live kc violations and zero ground-truth data-plane verdict
+   violations even though the controller never sees true demands or a
+   complete fault feed. Emits BENCH_telemetry.json. *)
+let telemetry () =
+  section "Telemetry: imperfect sensing vs ground-truth guarantees (L-Net)";
+  let sc = Lazy.force lnet in
+  Printf.printf "%s\n" (scenario_summary sc);
+  let input = sc.Sim.Scenario.input in
+  let topo = input.Te_types.topo in
+  let scale = 1.5 in
+  (* ke = 2 so one whole-fibre cut (both directed ids) stays within the
+     data-plane budget and the ground-truth verdict is asserted. *)
+  let protection = Te_types.protection ~kc:2 ~ke:2 () in
+  let config_of _ =
+    Ffc.config ~protection ~encoding:`Duality ~mice_fraction:0. ~ingress_skip_fraction:0. ()
+  in
+  let n = intervals 16 in
+  let um = Sim.Update_model.optimistic () in
+  let loss = 0.25 and delay = 2 and noise = 0.08 in
+  let fibres = Array.of_list (Sim.Fault_model.fibres topo) in
+  let forced _rng i =
+    if Array.length fibres = 0 then []
+    else
+      [
+        {
+          Sim.Fault_model.time_s = 120.;
+          kind = Sim.Fault_model.Link_down fibres.(i * 7 mod Array.length fibres);
+        };
+      ]
+  in
+  let series = Sim.Scenario.demand_series (Rng.create 555) sc ~scale ~intervals:n in
+  let run_arm name telemetry estimator =
+    let cfg =
+      {
+        (Sim.Interval_sim.default_config ~audit_budget:4 ?telemetry ?estimator
+           ~mode:(Sim.Interval_sim.Proactive config_of) ~update_model:um
+           Sim.Fault_model.none)
+        with
+        Sim.Interval_sim.forced_faults = Some forced;
+      }
+    in
+    (name, Sim.Interval_sim.run ~rng:(Rng.create 333) cfg input ~demand_series:series)
+  in
+  Printf.printf
+    "one forced fibre cut per interval; lossy arm: loss %.0f%%, notification delay %d \
+     interval(s), demand noise sigma %.2f, estimator headroom 0.20\n\
+     %!"
+    (100. *. loss) delay noise;
+  let arms =
+    [
+      run_arm "perfect" None None;
+      run_arm "neutral" (Some Sim.Telemetry.neutral) None;
+      run_arm "lossy"
+        (Some (Sim.Telemetry.config ~loss ~delay ~demand_noise:noise ()))
+        (Some (Estimator.config ~headroom:0.2 ()));
+    ]
+  in
+  let summary (name, stats) =
+    let count pred = List.fold_left (fun a s -> if pred s then a + 1 else a) 0 stats in
+    let sumf f = List.fold_left (fun a s -> a +. f s) 0. stats in
+    let maxi f = List.fold_left (fun a s -> max a (f s)) 0 stats in
+    let sumi f = List.fold_left (fun a s -> a + f s) 0 stats in
+    let granted =
+      sumf (fun s ->
+          Array.fold_left
+            (fun a (c : Sim.Interval_sim.class_stats) -> a +. c.Sim.Interval_sim.granted_gb)
+            0. s.Sim.Interval_sim.per_class)
+    in
+    let kc_viol =
+      count (fun s ->
+          match s.Sim.Interval_sim.kc_verdict with Sim.Southbound.Violation _ -> true | _ -> false)
+    in
+    let gt pred = count (fun s -> pred s.Sim.Interval_sim.gt_data) in
+    let err_mean =
+      sumf (fun s -> s.Sim.Interval_sim.estimation_err) /. float_of_int (max 1 (List.length stats))
+    in
+    ( name,
+      granted,
+      sumf Sim.Interval_sim.total_lost,
+      kc_viol,
+      ( gt (function Sim.Interval_sim.Gt_ok -> true | _ -> false),
+        gt (function Sim.Interval_sim.Gt_not_asserted -> true | _ -> false),
+        gt (function Sim.Interval_sim.Gt_violation _ -> true | _ -> false) ),
+      maxi (fun s -> s.Sim.Interval_sim.view_staleness),
+      sumi (fun s -> s.Sim.Interval_sim.suspect_links + s.Sim.Interval_sim.suspect_switches),
+      count (fun s -> s.Sim.Interval_sim.solve_skipped),
+      err_mean )
+  in
+  let summaries = List.map summary arms in
+  let t =
+    Table.create
+      [
+        "arm"; "granted Gb"; "lost Gb"; "kc viol"; "gt ok/n-a/viol"; "peak stale";
+        "suspect charges"; "skipped"; "mean est err";
+      ]
+  in
+  List.iter
+    (fun (name, g, l, kcv, (gok, gna, gvi), st, su, sk, err) ->
+      Table.add_row t
+        [
+          name; Printf.sprintf "%.1f" g; Printf.sprintf "%.2f" l; string_of_int kcv;
+          Printf.sprintf "%d/%d/%d" gok gna gvi; string_of_int st; string_of_int su;
+          string_of_int sk; Printf.sprintf "%.1f%%" (100. *. err);
+        ])
+    summaries;
+  Table.print t;
+  (* Bit-identity: neutral telemetry parameters must not perturb a single
+     RNG draw or float anywhere in the pipeline. *)
+  let stats_of name = List.assoc name arms in
+  (* Ladder attempts carry wall-clock solve times; zero them so the
+     bit-identity comparison covers every deterministic field and nothing
+     else. *)
+  let strip (s : Sim.Interval_sim.interval_stats) =
+    {
+      s with
+      Sim.Interval_sim.ladder =
+        List.map
+          (fun (a : Controller.attempt) -> { a with Controller.solve_ms = 0. })
+          s.Sim.Interval_sim.ladder;
+    }
+  in
+  let identical = List.map strip (stats_of "perfect") = List.map strip (stats_of "neutral") in
+  let find name = List.find (fun (a, _, _, _, _, _, _, _, _) -> a = name) summaries in
+  let _, _, _, l_kcv, (l_gok, _, l_gvi), l_stale, l_susp, _, _ = find "lossy" in
+  let check name ok = Printf.printf "  %-52s %s\n" name (if ok then "PASS" else "FAIL") in
+  let ok1 = identical in
+  let ok2 = l_kcv = 0 in
+  let ok3 = l_gvi = 0 in
+  let ok4 = l_gok >= 1 in
+  let ok5 = l_stale > 0 || l_susp > 0 in
+  check "neutral sensing bit-identical to no sensing" ok1;
+  check "zero live kc violations under lossy sensing" ok2;
+  check "zero ground-truth guarantee violations (faults <= ke)" ok3;
+  check "ground-truth verdict asserted on >= 1 interval" ok4;
+  check "loss actually exercised (staleness or suspects > 0)" ok5;
+  let json =
+    let arm_json (name, g, l, kcv, (gok, gna, gvi), st, su, sk, err) =
+      Printf.sprintf
+        "    { \"name\": \"%s\", \"intervals\": %d, \"granted_gb\": %.6f, \"lost_gb\": \
+         %.6f,\n\
+        \      \"kc_violations\": %d, \"gt_ok\": %d, \"gt_not_asserted\": %d, \
+         \"gt_violations\": %d,\n\
+        \      \"peak_view_staleness\": %d, \"suspect_charges\": %d, \
+         \"skipped_solves\": %d,\n\
+        \      \"mean_estimation_err\": %.6f }"
+        name n g l kcv gok gna gvi st su sk err
+    in
+    Printf.sprintf
+      "{\n\
+      \  \"scenario\": \"%s\",\n\
+      \  \"scale\": %.1f,\n\
+      \  \"protection\": \"kc=%d,ke=%d,kv=%d\",\n\
+      \  \"lossy\": { \"loss\": %.2f, \"delay_intervals\": %d, \"demand_noise\": %.2f,\n\
+      \             \"headroom\": 0.2 },\n\
+      \  \"arms\": [\n%s\n  ],\n\
+      \  \"contracts\": { \"neutral_bit_identical\": %b, \"zero_kc_violations\": %b,\n\
+      \                 \"zero_groundtruth_violations\": %b, \"gt_asserted\": %b,\n\
+      \                 \"loss_exercised\": %b }\n\
+       }\n"
+      sc.Sim.Scenario.name scale protection.Te_types.kc protection.Te_types.ke
+      protection.Te_types.kv loss delay noise
+      (String.concat ",\n" (List.map arm_json summaries))
+      ok1 ok2 ok3 ok4 ok5
+  in
+  let oc = open_out "BENCH_telemetry.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_telemetry.json\n";
+  if not (ok1 && ok2 && ok3 && ok4 && ok5) then
+    failwith "telemetry: imperfect-sensing contract violated"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1702,6 +1892,7 @@ let experiments =
     ("southbound", southbound);
     ("fuzz", fuzz);
     ("chaos", chaos);
+    ("telemetry", telemetry);
   ]
 
 let () =

@@ -96,9 +96,16 @@ let solve_cmd network seed scale kc ke kv encoding objective =
 (* ------------------------------------------------------------------ *)
 
 let simulate_cmd network seed scale mode intervals model kc ke kv deadline_ms audit_budget
-    retries retry_timeout retry_backoff =
+    retries retry_timeout retry_backoff telemetry_loss telemetry_delay demand_noise
+    headroom dead_band =
   let sc = scenario_of_name network seed in
   let input = sc.Sim.Scenario.input in
+  (* Machine-readable calibration result (the stderr warning, if any, was
+     already printed by the scenario builder). *)
+  Printf.printf "scenario %s: calibration scale %.3f, basic TE satisfies %.1f%%%s\n"
+    sc.Sim.Scenario.name sc.Sim.Scenario.calibration_scale
+    (100. *. sc.Sim.Scenario.calibration_achieved)
+    (if sc.Sim.Scenario.calibrated then "" else " (UNCALIBRATED)");
   let um =
     if model = "optimistic" then Sim.Update_model.optimistic () else Sim.Update_model.realistic ()
   in
@@ -120,9 +127,20 @@ let simulate_cmd network seed scale mode intervals model kc ke kv deadline_ms au
     Sim.Southbound.retry_policy ~max_attempts:retries ~attempt_timeout_s:retry_timeout
       ~backoff_base_s:retry_backoff ()
   in
+  let telemetry =
+    if telemetry_loss > 0. || telemetry_delay > 0 || demand_noise > 0. then
+      Some
+        (Sim.Telemetry.config ~loss:telemetry_loss ~delay:telemetry_delay ~demand_noise ())
+    else None
+  in
+  let estimator =
+    match (headroom, dead_band) with
+    | None, None -> None
+    | h, d -> Some (Estimator.config ?headroom:h ?dead_band:d ())
+  in
   let cfg =
-    Sim.Interval_sim.default_config ?deadline_ms ~audit_budget ~retry ~mode
-      ~update_model:um fm
+    Sim.Interval_sim.default_config ?deadline_ms ~audit_budget ~retry ?telemetry
+      ?estimator ~mode ~update_model:um fm
   in
   let series = Sim.Scenario.demand_series (Rng.create (seed + 1)) sc ~scale ~intervals in
   let stats = Sim.Interval_sim.run ~rng:(Rng.create (seed + 2)) cfg input ~demand_series:series in
@@ -135,11 +153,18 @@ let simulate_cmd network seed scale mode intervals model kc ke kv deadline_ms au
     in
     if s.Sim.Interval_sim.escalated then tag ^ "!" else tag
   in
+  let gt_label s =
+    match s.Sim.Interval_sim.gt_data with
+    | Sim.Interval_sim.Gt_ok -> "ok"
+    | Sim.Interval_sim.Gt_not_asserted -> "n/a"
+    | Sim.Interval_sim.Gt_violation _ -> "VIOLATION"
+  in
   let t =
     Table.create
       [
         "interval"; "delivered (Gb)"; "lost (Gb)"; "max oversub (%)"; "data faults";
-        "stale"; "retries"; "kc check"; "rung"; "fallbacks"; "audit";
+        "stale"; "retries"; "kc check"; "gt"; "view st/sus/err"; "rung"; "fallbacks";
+        "audit";
       ]
   in
   List.iteri
@@ -156,6 +181,10 @@ let simulate_cmd network seed scale mode intervals model kc ke kv deadline_ms au
           Printf.sprintf "%d/%d" sb.Sim.Southbound.retry_successes
             sb.Sim.Southbound.retries;
           verdict_label s;
+          gt_label s;
+          Printf.sprintf "%d/%d/%.0f%%" s.Sim.Interval_sim.view_staleness
+            (s.Sim.Interval_sim.suspect_links + s.Sim.Interval_sim.suspect_switches)
+            (100. *. s.Sim.Interval_sim.estimation_err);
           s.Sim.Interval_sim.rung_label;
           string_of_int s.Sim.Interval_sim.solver_fallbacks;
           Printf.sprintf "%d/%d" s.Sim.Interval_sim.audit_violations
@@ -189,7 +218,29 @@ let simulate_cmd network seed scale mode intervals model kc ke kv deadline_ms au
     (sum (fun s ->
          match s.Sim.Interval_sim.kc_verdict with
          | Sim.Southbound.Violation _ -> 1
-         | _ -> 0))
+         | _ -> 0));
+  if telemetry <> None || estimator <> None then
+    Printf.printf
+      "sensing: peak view staleness %d, %d suspect-link and %d suspect-switch \
+       interval-charges, %d dead-band skipped solve(s), mean estimation error %.1f%%, \
+       ground-truth data verdicts %d ok / %d n-a / %d VIOLATION\n"
+      (List.fold_left (fun a s -> max a s.Sim.Interval_sim.view_staleness) 0 stats)
+      (sum (fun s -> s.Sim.Interval_sim.suspect_links))
+      (sum (fun s -> s.Sim.Interval_sim.suspect_switches))
+      (sum (fun s -> if s.Sim.Interval_sim.solve_skipped then 1 else 0))
+      (100.
+      *. List.fold_left (fun a s -> a +. s.Sim.Interval_sim.estimation_err) 0. stats
+      /. float_of_int (max 1 (List.length stats)))
+      (sum (fun s ->
+           match s.Sim.Interval_sim.gt_data with Sim.Interval_sim.Gt_ok -> 1 | _ -> 0))
+      (sum (fun s ->
+           match s.Sim.Interval_sim.gt_data with
+           | Sim.Interval_sim.Gt_not_asserted -> 1
+           | _ -> 0))
+      (sum (fun s ->
+           match s.Sim.Interval_sim.gt_data with
+           | Sim.Interval_sim.Gt_violation _ -> 1
+           | _ -> 0))
 
 (* ------------------------------------------------------------------ *)
 (* plan (capacity planning, §3.3)                                      *)
@@ -386,10 +437,48 @@ let retry_backoff =
     & info [ "retry-backoff" ]
         ~doc:"Base backoff between attempts (seconds; doubles per retry, jittered)")
 
+let telemetry_loss =
+  Arg.(
+    value & opt float 0.
+    & info [ "telemetry-loss" ]
+        ~doc:
+          "Drop probability of demand reports and fault notifications (keepalive miss \
+           probability is its square); 0 = perfect sensing")
+
+let telemetry_delay =
+  Arg.(
+    value & opt int 0
+    & info [ "telemetry-delay" ]
+        ~doc:"Interval edges a fault notification lags (elements arrive suspect)")
+
+let demand_noise =
+  Arg.(
+    value & opt float 0.
+    & info [ "demand-noise" ] ~doc:"Relative sigma of demand-report noise")
+
+let headroom =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "headroom" ]
+        ~doc:
+          "Enable the robust demand estimator with this relative envelope margin gamma \
+           (EWMA + decaying peak tracker)")
+
+let dead_band =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "dead-band" ]
+        ~doc:
+          "Enable the estimator and skip re-solves when the view moved less than this \
+           relative dead-band since the last solve")
+
 let simulate_t =
   Term.(
     const simulate_cmd $ network $ seed $ scale $ mode $ intervals $ model $ kc_sim $ ke_sim
-    $ kv_sim $ deadline_ms $ audit_budget $ retries $ retry_timeout $ retry_backoff)
+    $ kv_sim $ deadline_ms $ audit_budget $ retries $ retry_timeout $ retry_backoff
+    $ telemetry_loss $ telemetry_delay $ demand_noise $ headroom $ dead_band)
 
 let plan_t = Term.(const plan_cmd $ network $ seed $ scale $ kc $ ke $ kv)
 

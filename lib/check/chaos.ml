@@ -9,6 +9,8 @@ type fault_spec = { fs_interval : int; fs_time : float; fs_elem : elem }
 
 type crash_spec = { cr_interval : int; cr_downtime : float }
 
+type tele_spec = { t_loss : float; t_delay : int; t_noise : float }
+
 type plan = {
   p_seed : int;
   p_sites : int;
@@ -20,6 +22,7 @@ type plan = {
   p_realistic : bool;
   p_faults : fault_spec list;
   p_crash : crash_spec option;
+  p_telemetry : tele_spec option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -92,10 +95,25 @@ let run_plan plan =
            ~forced_crashes:[ (max 0 c.cr_interval, max 1. c.cr_downtime) ]
            Interval_sim.Journaled_restart)
   in
+  (* A telemetry spec runs the controller behind a lossy sensing plane with
+     the robust estimator on (a modest headroom and dead-band, so envelope
+     planning, rate capping and skip logic all get exercised); the plan's
+     guarantees are then judged against ground truth like everything else. *)
+  let telemetry, estimator =
+    match plan.p_telemetry with
+    | None -> (None, None)
+    | Some t ->
+      ( Some
+          (Telemetry.config
+             ~loss:(max 0. (min 0.9 t.t_loss))
+             ~delay:(max 0 t.t_delay)
+             ~demand_noise:(max 0. t.t_noise) ()),
+        Some (Estimator.config ~headroom:0.2 ~dead_band:0.02 ()) )
+  in
   let cfg =
     {
-      (Interval_sim.default_config ~audit_budget:6 ?outage ~mode ~update_model
-         Fault_model.none)
+      (Interval_sim.default_config ~audit_budget:6 ?outage ?telemetry ?estimator ~mode
+         ~update_model Fault_model.none)
       with
       Interval_sim.forced_faults = Some (forced_of_plan plan sc.Scenario.input.Te_types.topo);
     }
@@ -142,6 +160,20 @@ let verdict_of stats =
         if st.Interval_sim.audit_violations > 0 then
           failf "audit: interval %d: %d of %d sampled guarantee audit case(s) violated"
             idx st.Interval_sim.audit_violations st.Interval_sim.audit_cases
+        else if
+          (match st.Interval_sim.gt_data with
+          | Interval_sim.Gt_violation _ -> true
+          | _ -> false)
+        then
+          let m =
+            match st.Interval_sim.gt_data with
+            | Interval_sim.Gt_violation m -> m
+            | _ -> assert false
+          in
+          failf
+            "groundtruth: interval %d: planned allocation violates the data-plane \
+             guarantee against true demands: %s"
+            idx m
         else if
           Interval_sim.total_lost st > (g *. (1. +. 1e-6)) +. 1e-6
         then
@@ -211,7 +243,17 @@ let random_crash rng ~intervals =
       }
   else None
 
-let random_plan rng ~sites ~intervals ~scale ~realistic ~kc ~ke ~kv =
+let random_telemetry rng =
+  if Rng.bernoulli rng 0.5 then
+    Some
+      {
+        t_loss = 0.1 +. Rng.float rng 0.3;
+        t_delay = Rng.int rng 3;
+        t_noise = Rng.float rng 0.12;
+      }
+  else None
+
+let random_plan rng ~sites ~intervals ~scale ~realistic ~telemetry ~kc ~ke ~kv =
   {
     p_seed = Rng.int rng 1_000_000;
     p_sites = sites;
@@ -223,6 +265,7 @@ let random_plan rng ~sites ~intervals ~scale ~realistic ~kc ~ke ~kv =
     p_realistic = realistic;
     p_faults = random_faults rng ~intervals ~ke ~kv;
     p_crash = random_crash rng ~intervals;
+    p_telemetry = (if telemetry then random_telemetry rng else None);
   }
 
 let generate rng =
@@ -230,13 +273,16 @@ let generate rng =
   random_plan rng ~sites:(3 + Rng.int rng 3) ~intervals
     ~scale:(0.7 +. Rng.float rng 0.6)
     ~realistic:(Rng.bernoulli rng 0.3)
-    ~kc:(Rng.int rng 3) ~ke:(Rng.int rng 3) ~kv:(Rng.int rng 2)
+    ~telemetry:true ~kc:(Rng.int rng 3) ~ke:(Rng.int rng 3) ~kv:(Rng.int rng 2)
 
 let shrink p =
   let nf = List.length p.p_faults in
   List.init nf (fun i ->
       { p with p_faults = List.filteri (fun j _ -> j <> i) p.p_faults })
   @ (match p.p_crash with Some _ -> [ { p with p_crash = None } ] | None -> [])
+  @ (match p.p_telemetry with
+    | Some _ -> [ { p with p_telemetry = None } ]
+    | None -> [])
   @ (if p.p_intervals > 1 then
        [
          {
@@ -283,6 +329,14 @@ let plan_code p =
       (Printf.sprintf
          "    p_crash = Some { Ffc_check.Chaos.cr_interval = %d; cr_downtime = %h };\n"
          c.cr_interval c.cr_downtime));
+  (match p.p_telemetry with
+  | None -> Buffer.add_string b "    p_telemetry = None;\n"
+  | Some t ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "    p_telemetry = Some { Ffc_check.Chaos.t_loss = %h; t_delay = %d; t_noise \
+          = %h };\n"
+         t.t_loss t.t_delay t.t_noise));
   Buffer.add_string b "  } in\n";
   Buffer.contents b
 
@@ -320,7 +374,7 @@ type hunt_report = {
 }
 
 let mutate rng p =
-  match Rng.int rng 6 with
+  match Rng.int rng 7 with
   | 0 ->
     (* add a fault somewhere *)
     let elem = if Rng.bernoulli rng 0.7 then Fibre (Rng.int rng 64) else Switch (Rng.int rng 64) in
@@ -357,10 +411,13 @@ let mutate rng p =
     }
   | 3 -> { p with p_crash = random_crash rng ~intervals:p.p_intervals }
   | 4 -> { p with p_scale = max 0.5 (p.p_scale *. (0.85 +. Rng.float rng 0.4)) }
+  | 5 ->
+    (* degrade, re-roll or restore the sensing plane *)
+    { p with p_telemetry = random_telemetry rng }
   | _ -> { p with p_seed = Rng.int rng 1_000_000 }
 
 let hunt ?(seed = 42) ?(budget = 48) ?(sites = 4) ?(intervals = 6) ?(scale = 1.2)
-    ?(realistic = false) ~kc ~ke ~kv () =
+    ?(realistic = false) ?(telemetry = false) ~kc ~ke ~kv () =
   let rng = Rng.create seed in
   let evaluated = ref 0 in
   let best = ref 0. in
@@ -380,7 +437,7 @@ let hunt ?(seed = 42) ?(budget = 48) ?(sites = 4) ?(intervals = 6) ?(scale = 1.2
      mutation iff it scores at least as badly (plateau moves let the climb
      slide across equal-score regions). *)
   while !evaluated < budget && !found = None do
-    let cur = ref (random_plan rng ~sites ~intervals ~scale ~realistic ~kc ~ke ~kv) in
+    let cur = ref (random_plan rng ~sites ~intervals ~scale ~realistic ~telemetry ~kc ~ke ~kv) in
     let cur_score = ref (eval !cur) in
     let steps = ref 0 in
     while !steps < 7 && !evaluated < budget && !found = None do

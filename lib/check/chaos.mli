@@ -4,16 +4,23 @@
 
     A {!plan} is a deterministic chaos schedule: a small L-Net-like scenario
     plus forced data-plane faults (at most [ke] distinct fibres and [kv]
-    distinct switches per interval, enforced at execution time) and
-    optionally one controller crash recovered through the crash-recovery
-    journal. {!test} runs {!Ffc_sim.Interval_sim} over the plan and fails
-    iff the simulated system breaks a promise it actually made:
+    distinct switches per interval, enforced at execution time), optionally
+    one controller crash recovered through the crash-recovery journal, and
+    optionally a degraded sensing plane (lossy/delayed/noisy telemetry with
+    the robust estimator on, see {!Ffc_sim.Telemetry}). {!test} runs
+    {!Ffc_sim.Interval_sim} over the plan and fails iff the simulated
+    system breaks a promise it actually made:
 
     - ["guarantee:"] — the live kc-guarantee checker reports a
       {!Ffc_sim.Southbound.Violation} (within-budget staleness overloading
       a link);
     - ["audit:"] — the controller's sampled guarantee audit catches a
       violated fault case on an accepted solve;
+    - ["groundtruth:"] — the ground-truth data-plane verdict
+      ({!Ffc_sim.Interval_sim.gt_data}) finds a planned allocation that
+      breaks the Eqn-5/9 guarantee against {e true} demands while actual
+      faults stayed within the delivered budget — the check a lossy sensing
+      plane must not be able to defeat;
     - ["congestion:"] — congestion loss on a full-protection interval whose
       faults were within the data-plane budget, with a clean (never-stale)
       control plane — FFC promises zero congestion loss there;
@@ -46,6 +53,12 @@ type crash_spec = {
   cr_downtime : float;  (** seconds; journaled recovery at the next edge after *)
 }
 
+type tele_spec = {
+  t_loss : float;  (** telemetry report/notification loss, clamped to [0, 0.9] *)
+  t_delay : int;  (** fault-notification delay in intervals *)
+  t_noise : float;  (** multiplicative demand-report noise sigma *)
+}
+
 type plan = {
   p_seed : int;  (** scenario topology/traffic and simulator streams *)
   p_sites : int;  (** L-Net-like scenario size (>= 3) *)
@@ -57,6 +70,9 @@ type plan = {
   p_realistic : bool;  (** realistic (vs optimistic) southbound update model *)
   p_faults : fault_spec list;
   p_crash : crash_spec option;
+  p_telemetry : tele_spec option;
+      (** [Some _] runs the controller behind a lossy sensing plane (robust
+          estimator with headroom 0.2, dead-band 0.02) *)
 }
 
 val run_plan : plan -> Ffc_sim.Interval_sim.interval_stats list
@@ -105,6 +121,7 @@ val hunt :
   ?intervals:int ->
   ?scale:float ->
   ?realistic:bool ->
+  ?telemetry:bool ->
   kc:int ->
   ke:int ->
   kv:int ->
@@ -112,9 +129,12 @@ val hunt :
   hunt_report
 (** Search for a guarantee violation at a fixed protection level: random
     restarts, each followed by greedy mutation steps (add/move faults, move
-    the crash, nudge the traffic scale) keeping the higher-scoring plan;
-    stops at the first failure (shrunk before reporting) or when [budget]
-    simulator runs are exhausted. Defaults: seed 42, budget 48, 4 sites,
-    6 intervals, scale 1.2, optimistic update model. *)
+    the crash, degrade/re-roll the sensing plane, nudge the traffic scale)
+    keeping the higher-scoring plan; stops at the first failure (shrunk
+    before reporting) or when [budget] simulator runs are exhausted.
+    [telemetry] (default false) seeds each restart with a ~50% chance of a
+    random lossy sensing plane; the mutation step may introduce or clear one
+    either way. Defaults: seed 42, budget 48, 4 sites, 6 intervals, scale
+    1.2, optimistic update model. *)
 
 val pp_report : Format.formatter -> hunt_report -> unit

@@ -388,7 +388,7 @@ let try_rung t (input : Te_types.input) ~prev ~rung ~boost ~use_bases kind =
       Accepted (alloc, List.map (fun (prio, st, _) -> (prio, st)) per_class)
     | Error (_prio, f) -> Failed f)
 
-let step t ?(stale = 0) (input : Te_types.input) ~(prev : Te_types.allocation) =
+let step t ?(stale = 0) ?audit_input (input : Te_types.input) ~(prev : Te_types.allocation) =
   let rungs = ladder t input in
   (* The step escalates when the reported stale-ingress count exceeds what
      the weakest kc-protected class is configured to tolerate. *)
@@ -438,7 +438,15 @@ let step t ?(stale = 0) (input : Te_types.input) ~(prev : Te_types.allocation) =
           | [] -> None
           | l -> Some (fun prio -> try List.assoc prio l with Not_found -> Te_types.no_protection)
         in
-        let audit = audit_step t input ~prev ~alloc ~kind ~protections in
+        (* The sampled auditor checks the accepted allocation against the
+           auditing view — ground truth when the controller planned on an
+           estimated one. The Enumerate case checkers charge planned
+           allocations against real capacities, so an estimation error in
+           the demands cannot silently weaken what is verified here. *)
+        let audit =
+          audit_step t (Option.value audit_input ~default:input) ~prev ~alloc ~kind
+            ~protections
+        in
         let attempts = List.rev !attempts in
         let fallbacks = List.length attempts - 1 in
         t.steps <- t.steps + 1;

@@ -102,7 +102,8 @@ type t
 
 val create : config -> t
 
-val step : t -> ?stale:int -> Te_types.input -> prev:Te_types.allocation -> step
+val step :
+  t -> ?stale:int -> ?audit_input:Te_types.input -> Te_types.input -> prev:Te_types.allocation -> step
 (** Compute this interval's target allocation, descending the ladder until a
     rung succeeds. [prev] is the currently-installed allocation (used for
     control-plane constraints, warm context and the last-good rung; pass
@@ -119,7 +120,13 @@ val step : t -> ?stale:int -> Te_types.input -> prev:Te_types.allocation -> step
     provably safe against the switches that are actually stuck; the step is
     marked [escalated] and skips warm-start basis reuse (the escalated LP
     has a different shape). Never raises on solver failure — the last-good
-    rung always succeeds. *)
+    rung always succeeds.
+
+    [audit_input] (default: the planning input itself) is the view the
+    sampled guarantee auditor verifies the accepted allocation against.
+    A controller planning on an {e estimated} view should pass the
+    ground-truth input here so audit verdicts are statements about the real
+    network, not about the estimate. *)
 
 val step_edge : step -> int * int
 (** [(ke, kv)] protection edge actually guaranteed by an accepted step (the

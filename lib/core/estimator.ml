@@ -1,0 +1,121 @@
+(* Robust demand estimation from lossy, noisy per-flow telemetry.
+
+   The controller no longer sees ground-truth demands: reports arrive
+   through {!Ffc_sim.Telemetry} as noisy samples, and some intervals a
+   flow's report is simply dropped. The estimator turns that feed into a
+   planning view that errs on the side of over-provisioning: an EWMA tracks
+   the running level, a decaying peak tracker remembers recent spikes, and
+   the planning envelope is [(1 + headroom) * max(mean, peak)] — the same
+   "nominal plus peak deviation" shape {!Demand_robust} consumes
+   ([envelope] is a valid [~peaks] argument for [nominal]). Missing
+   reports age the view (staleness) but never shrink it: while blind, the
+   estimator holds its last envelope rather than decaying toward zero. *)
+
+type config = {
+  alpha : float;  (* EWMA gain on a fresh report *)
+  peak_decay : float;  (* per-observed-interval decay of the peak tracker *)
+  headroom : float;  (* relative margin gamma on the envelope *)
+  dead_band : float;  (* relative view change below which a re-solve is skipped *)
+}
+
+let config ?(alpha = 0.3) ?(peak_decay = 0.9) ?(headroom = 0.15) ?(dead_band = 0.) () =
+  if alpha <= 0. || alpha > 1. then invalid_arg "Estimator.config: alpha outside (0, 1]";
+  if peak_decay < 0. || peak_decay > 1. then
+    invalid_arg "Estimator.config: peak_decay outside [0, 1]";
+  if headroom < 0. then invalid_arg "Estimator.config: negative headroom";
+  if dead_band < 0. then invalid_arg "Estimator.config: negative dead_band";
+  { alpha; peak_decay; headroom; dead_band }
+
+(* The identity estimator: planning view = last report, no headroom, no
+   damping. With a lossless, noiseless telemetry channel this reproduces
+   the perfect-sensing simulator bit for bit (alpha 1 makes the mean the
+   report itself; 1.0 *. d and max d d are exact). *)
+let passthrough = { alpha = 1.; peak_decay = 0.; headroom = 0.; dead_band = 0. }
+
+type t = {
+  cfg : config;
+  mean : float array;
+  peak : float array;
+  age : int array;  (* intervals since this flow last reported *)
+  seen : bool array;  (* has this flow ever reported? *)
+}
+
+let create cfg ~nflows =
+  if nflows < 0 then invalid_arg "Estimator.create: negative nflows";
+  {
+    cfg;
+    mean = Array.make nflows 0.;
+    peak = Array.make nflows 0.;
+    age = Array.make nflows 0;
+    seen = Array.make nflows false;
+  }
+
+let nflows t = Array.length t.mean
+
+let observe t reports =
+  if Array.length reports <> nflows t then
+    invalid_arg "Estimator.observe: report size mismatch";
+  Array.iteri
+    (fun f r ->
+      match r with
+      | None -> if t.seen.(f) then t.age.(f) <- t.age.(f) + 1
+      | Some d ->
+        let d = max 0. d in
+        if t.seen.(f) then begin
+          t.mean.(f) <- t.mean.(f) +. (t.cfg.alpha *. (d -. t.mean.(f)));
+          t.peak.(f) <- max d (t.peak.(f) *. t.cfg.peak_decay)
+        end
+        else begin
+          t.mean.(f) <- d;
+          t.peak.(f) <- d;
+          t.seen.(f) <- true
+        end;
+        t.age.(f) <- 0)
+    reports
+
+(* Full-view reconciliation (controller recovery): snap the whole state to
+   an exact measurement, discarding accumulated staleness and peaks. *)
+let observe_exact t demands =
+  if Array.length demands <> nflows t then
+    invalid_arg "Estimator.observe_exact: demand size mismatch";
+  Array.iteri
+    (fun f d ->
+      let d = max 0. d in
+      t.mean.(f) <- d;
+      t.peak.(f) <- d;
+      t.age.(f) <- 0;
+      t.seen.(f) <- true)
+    demands
+
+let nominal t = Array.copy t.mean
+
+let envelope t =
+  Array.init (nflows t) (fun f ->
+      (1. +. t.cfg.headroom) *. max t.mean.(f) t.peak.(f))
+
+let staleness t = Array.fold_left max 0 t.age
+
+(* Mean relative error of a planning view against the truth; flows with
+   negligible true demand are compared on an absolute floor so a view of 0
+   for a demand of 0 scores 0 error. *)
+let mean_rel_error ~view ~truth =
+  let n = Array.length truth in
+  if n = 0 || Array.length view <> n then 0.
+  else begin
+    let acc = ref 0. in
+    for f = 0 to n - 1 do
+      acc := !acc +. (abs_float (view.(f) -. truth.(f)) /. max truth.(f) 1e-6)
+    done;
+    !acc /. float_of_int n
+  end
+
+let within_dead_band cfg ~view ~last =
+  cfg.dead_band > 0.
+  && Array.length view = Array.length last
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun f v ->
+      if abs_float (v -. last.(f)) > cfg.dead_band *. max last.(f) 1e-6 then ok := false)
+    view;
+  !ok

@@ -123,7 +123,7 @@ let k_shortest ?(metric = default_metric) topo src dst ~k =
             | None -> ()
             | Some spur -> add_candidate (root @ spur))
           prev;
-        match List.sort (fun (c1, _) (c2, _) -> compare c1 c2) !candidates with
+        match List.sort (fun (c1, _) (c2, _) -> Float.compare c1 c2) !candidates with
         | [] -> continue := false
         | (_, best) :: rest ->
           candidates := rest;

@@ -13,7 +13,7 @@ let make_flows ?(tunnels_per_flow = 6) ?(p = 1) ?(q = 3) ?nflows
       if s <> d && allowed s d then pairs := (weights.(s) *. weights.(d), s, d) :: !pairs
     done
   done;
-  let sorted = List.sort (fun (w1, _, _) (w2, _, _) -> compare w2 w1) !pairs in
+  let sorted = List.sort (fun (w1, _, _) (w2, _, _) -> Float.compare w2 w1) !pairs in
   let next_id = ref 0 in
   let next_flow = ref 0 in
   let flows = ref [] and demands = ref [] in

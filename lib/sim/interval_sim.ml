@@ -43,10 +43,13 @@ type config = {
   audit_budget : int;
   retry : Southbound.retry_policy;
   outage : outage_model option;
+  telemetry : Telemetry.config option;
+  estimator : Estimator.config option;
 }
 
 let default_config ?deadline_ms ?max_iterations ?(audit_budget = 8)
-    ?(retry = Southbound.default_retry) ?outage ~mode ~update_model fault_model =
+    ?(retry = Southbound.default_retry) ?outage ?telemetry ?estimator ~mode ~update_model
+    fault_model =
   {
     mode;
     interval_s = 300.;
@@ -61,6 +64,8 @@ let default_config ?deadline_ms ?max_iterations ?(audit_budget = 8)
     audit_budget;
     retry;
     outage;
+    telemetry;
+    estimator;
   }
 
 type class_stats = {
@@ -70,6 +75,14 @@ type class_stats = {
   lost_congestion_gb : float;
   lost_blackhole_gb : float;
 }
+
+(* Ground-truth data-plane verdict: after the interval's actual fault set
+   is known, re-check the planned allocation against the real network
+   (Enumerate's per-case verifier) — asserted only when the case lies in
+   the space the accepted rung certified: a clean control plane, no
+   grandfathered (pre-overloaded, §4.5) links, and the failed directed
+   link ids / switches within the delivered (ke, kv) edge. *)
+type gt_verdict = Gt_ok | Gt_not_asserted | Gt_violation of string
 
 type interval_stats = {
   per_class : class_stats array;
@@ -92,6 +105,12 @@ type interval_stats = {
   controller_down : bool;
   recovered_from_journal : bool;
   recovery_interval : bool;
+  view_staleness : int;
+  suspect_links : int;
+  suspect_switches : int;
+  estimation_err : float;
+  solve_skipped : bool;
+  gt_data : gt_verdict;
 }
 
 let total_lost s =
@@ -163,11 +182,27 @@ let run ~rng cfg (input : Te_types.input) ~demand_series =
   let update_rng = Rng.split rng in
   let audit_rng = Rng.split rng in
   let chaos_rng = Rng.split rng in
+  (* The telemetry stream is split last, after the other four: enabling the
+     sensing layer must not move the fault/update/audit/chaos timelines a
+     seed produces, and at neutral telemetry parameters the stream itself
+     consumes no draws (see {!Telemetry}). *)
+  let telemetry_rng = Rng.split rng in
   let nflows = Array.length input.Te_types.demands in
   let nclasses = Loss.num_classes input in
   let ingresses =
+    (* Polymorphic [compare] is intentional here: switch ids are plain
+       ints, and the float-keyed sorts elsewhere use [Float.compare]. *)
     List.sort_uniq compare (List.map (fun (f : Flow.t) -> f.Flow.src) input.Te_types.flows)
   in
+  (* --- imperfect sensing (off by default: the controller sees truth) --- *)
+  let sensing = cfg.telemetry <> None || cfg.estimator <> None in
+  let tele = Telemetry.create (Option.value cfg.telemetry ~default:Telemetry.neutral) in
+  let est_cfg = Option.value cfg.estimator ~default:Estimator.passthrough in
+  let est = Estimator.create est_cfg ~nflows in
+  (* Hysteresis state: the planning view and solution of the last actual
+     solve, for the dead-band skip. *)
+  let last_view = ref None in
+  let last_solved = ref None in
   let backlog = Array.make nflows 0. in
   let ccfg = controller_config cfg (Rng.int audit_rng 0x3FFFFFFF) in
   let ctrl = ref (Controller.create ccfg) in
@@ -318,6 +353,69 @@ let run ~rng cfg (input : Te_types.input) ~demand_series =
     | None ->
       Fault_model.sample fault_rng ~interval_s:cfg.interval_s input.Te_types.topo
         cfg.fault_model
+  in
+  (* What the hosts actually send: the planned grant capped at the true
+     demand. Under perfect sensing the LP's demand constraints already keep
+     bf <= demand, but a controller planning on an inflated envelope can
+     grant more than a flow has to send — the excess must not be charged as
+     granted (or played) traffic. The relative guard keeps the no-sensing
+     and neutral-sensing paths bit-identical: an LP solution's feasibility
+     slack (bf over demand by a rounding hair) is left untouched. *)
+  let cap_allocation (input_t : Te_types.input) (alloc : Te_types.allocation) =
+    let d = input_t.Te_types.demands in
+    let needs_cap = ref false in
+    Array.iteri
+      (fun f b -> if b > (d.(f) *. (1. +. 1e-9)) +. 1e-12 then needs_cap := true)
+      alloc.Te_types.bf;
+    if not !needs_cap then alloc
+    else begin
+      let bf = Array.mapi (fun f b -> min b (max 0. d.(f))) alloc.Te_types.bf in
+      let af =
+        Array.mapi
+          (fun f row ->
+            let ob = alloc.Te_types.bf.(f) in
+            if ob <= 1e-12 || bf.(f) >= ob then Array.copy row
+            else
+              let s = bf.(f) /. ob in
+              Array.map (fun a -> a *. s) row)
+          alloc.Te_types.af
+      in
+      { Te_types.bf; af }
+    end
+  in
+  (* Ground-truth data-plane verdict for the interval's actual fault set
+     (see {!gt_verdict}): the certified case space counts failed directed
+     link ids against ke — a whole-fibre cut consumes one id per
+     direction. *)
+  let gt_verdict_of (input_t : Te_types.input) ~target ~faults ~stale ~any_grandfathered
+      ~edge:(eke, ekv) =
+    let failed_links =
+      List.sort_uniq compare
+        (List.concat_map
+           (fun (f : Fault_model.fault) ->
+             match f.Fault_model.kind with
+             | Fault_model.Link_down ids -> ids
+             | Fault_model.Switch_down _ -> [])
+           faults)
+    in
+    let failed_switches =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun (f : Fault_model.fault) ->
+             match f.Fault_model.kind with
+             | Fault_model.Switch_down v -> Some v
+             | Fault_model.Link_down _ -> None)
+           faults)
+    in
+    if
+      stale <> [] || any_grandfathered
+      || List.length failed_links > eke
+      || List.length failed_switches > ekv
+    then Gt_not_asserted
+    else
+      match Enumerate.check_data_case input_t target ~failed_links ~failed_switches with
+      | Ok () -> Gt_ok
+      | Error m -> Gt_violation m
   in
   let class_totals input_t ~demands ~granted_of lost_congestion lost_blackhole =
     let offered = Loss.class_rate input_t (fun f -> demands.(f)) in
@@ -473,6 +571,16 @@ let run ~rng cfg (input : Te_types.input) ~demand_series =
             controller_down = true;
             recovered_from_journal = false;
             recovery_interval = false;
+            (* Nobody is listening while the controller is down: the view
+               simply freezes (no reports consumed, no suspicion raised)
+               and no ground-truth assertion is made for the coasted
+               configuration. *)
+            view_staleness = (if sensing then Estimator.staleness est else 0);
+            suspect_links = 0;
+            suspect_switches = 0;
+            estimation_err = 0.;
+            solve_skipped = false;
+            gt_data = Gt_not_asserted;
           }
           :: !results
       end
@@ -493,74 +601,242 @@ let run ~rng cfg (input : Te_types.input) ~demand_series =
         let mixed_prev =
           if blind then Te_types.zero_allocation input_t else real_prev
         in
-        let step = Controller.step !ctrl ~stale:stale_before input_t ~prev:mixed_prev in
-        let target = step.Controller.alloc in
-        (* --- push the update through the retrying southbound engine --- *)
-        let sb =
-          Southbound.push !engine update_rng input_t ~target ~interval_s:cfg.interval_s
+        (* --- the sensing round: what the controller gets to see --- *)
+        let view, suspect_links, suspect_switches, view_staleness =
+          if not sensing then (demands, 0, 0, 0)
+          else if recovery then begin
+            (* Full-view reconciliation: a recovering controller resyncs
+               against the real network before planning again — queued
+               stale news and suspicions are void, the demand view snaps
+               to an exact measurement. *)
+            Telemetry.reconcile tele;
+            Estimator.observe_exact est demands;
+            (Estimator.envelope est, 0, 0, 0)
+          end
+          else begin
+            Telemetry.begin_interval tele telemetry_rng ~interval:interval_idx
+              input.Te_types.topo;
+            Estimator.observe est (Telemetry.observe_demands tele telemetry_rng demands);
+            let sl, sv = Telemetry.suspect_counts tele in
+            (Estimator.envelope est, sl, sv, Estimator.staleness est)
+          end
         in
-        enforced_bf := target.Te_types.bf;
-        let stuck_set v = List.mem v sb.Southbound.stale in
-        (* Live configuration-fault guarantee check at the protection level
-           the controller actually delivered this interval. *)
-        let kc_checked = Controller.step_kc step in
-        let kc_verdict =
-          Southbound.check_guarantee !engine ~grandfathered input_t ~target ~kc:kc_checked
+        let estimation_err =
+          if sensing then Estimator.mean_rel_error ~view ~truth:demands else 0.
         in
-        last_kc := kc_checked;
-        (* Journal the post-step state — everything a restarted controller
-           needs to resume as if it never died. Snapshots are taken every
-           interval (not lazily at crash time): a real controller cannot
-           journal after it has crashed. *)
-        (match cfg.outage with
-        | Some { recovery = Journaled_restart; _ } ->
-          journal := Some (Controller.snapshot !ctrl, Southbound.snapshot !engine)
-        | _ -> ());
-        let faults = sample_faults interval_idx in
-        (* Reaction rule uses the protection the controller actually
-           delivered this interval (a degraded rung weakens the edge), not
-           the requested configuration. *)
-        let lost_congestion, lost_blackhole, max_oversub, reacted =
-          play input_t ~target ~stuck_set ~react:(Some (Controller.step_edge step)) faults
+        let input_est =
+          if sensing then { input_t with Te_types.demands = view } else input_t
         in
-        let per_class =
-          class_totals input_t ~demands
-            ~granted_of:(fun f -> target.Te_types.bf.(f))
-            lost_congestion lost_blackhole
+        let any_grandfathered =
+          Array.exists
+            (fun (l : Topology.link) -> grandfathered l.Topology.id)
+            (Topology.links input.Te_types.topo)
         in
-        Array.iteri
-          (fun f d ->
-            backlog.(f) <- max 0. ((d -. target.Te_types.bf.(f)) *. cfg.interval_s))
-          demands;
-        let audit_cases, audit_violations =
-          match step.Controller.audit with
-          | Some a -> (a.Controller.audit_cases, a.Controller.audit_violations)
-          | None -> (0, 0)
+        let skip =
+          sensing && stale_before = 0 && (not recovery)
+          && Option.is_some !last_solved
+          && (match !last_view with
+             | Some lv -> Estimator.within_dead_band est_cfg ~view ~last:lv
+             | None -> false)
         in
-        results :=
-          {
-            per_class;
-            max_oversub_pct = max_oversub;
-            control_faults = List.length sb.Southbound.stale;
-            data_faults = List.length faults;
-            reacted;
-            solver_fallbacks = step.Controller.fallbacks;
-            rung = step.Controller.rung;
-            rung_label = step.Controller.label;
-            deadline_hits = step.Controller.deadline_hits;
-            stale_alloc = step.Controller.stale;
-            audit_cases;
-            audit_violations;
-            ladder = step.Controller.attempts;
-            southbound = sb;
-            kc_verdict;
-            kc_checked;
-            escalated = step.Controller.escalated;
-            controller_down = false;
-            recovered_from_journal = !recovered;
-            recovery_interval = recovery;
-          }
-          :: !results
+        if skip then begin
+          (* Dead-band hysteresis: the estimated view barely moved since
+             the last solve, so the controller skips the re-solve and the
+             push — the standing target stays installed, the hosts re-trim
+             their limiters to the (unchanged) granted rates, and the
+             southbound engine just advances its clock. Guarantee-safe:
+             the installed allocation's fault certificates do not depend
+             on the demand values, and the kc check is re-asserted against
+             the live engine below. *)
+          let target, edge, kc_checked, l_rung = Option.get !last_solved in
+          let sent = cap_allocation input_t target in
+          enforced_bf := sent.Te_types.bf;
+          let stale = Southbound.stale_switches !engine in
+          let kc_verdict =
+            Southbound.check_guarantee !engine ~grandfathered input_t ~target
+              ~kc:kc_checked
+          in
+          last_kc := kc_checked;
+          Southbound.tick !engine ~interval_s:cfg.interval_s;
+          (match cfg.outage with
+          | Some { recovery = Journaled_restart; _ } ->
+            journal := Some (Controller.snapshot !ctrl, Southbound.snapshot !engine)
+          | _ -> ());
+          let faults = sample_faults interval_idx in
+          Telemetry.note_faults tele telemetry_rng ~interval:interval_idx faults;
+          (* Suspect elements are charged against the delivered protection
+             before confirmation: the reaction edge tightens, never
+             loosens. *)
+          let eke, ekv = edge in
+          let react_edge =
+            (max 0 (eke - suspect_links), max 0 (ekv - suspect_switches))
+          in
+          let stuck_set v = List.mem v stale in
+          let lost_congestion, lost_blackhole, max_oversub, reacted =
+            play input_t ~target:sent ~stuck_set ~react:(Some react_edge) faults
+          in
+          let gt_data =
+            gt_verdict_of input_t ~target ~faults ~stale ~any_grandfathered ~edge
+          in
+          let per_class =
+            class_totals input_t ~demands
+              ~granted_of:(fun f -> sent.Te_types.bf.(f))
+              lost_congestion lost_blackhole
+          in
+          Array.iteri
+            (fun f d ->
+              backlog.(f) <- max 0. ((d -. sent.Te_types.bf.(f)) *. cfg.interval_s))
+            demands;
+          let sb =
+            {
+              Southbound.epoch = Southbound.target_epoch !engine;
+              pushed = 0;
+              applied = [];
+              stale;
+              max_epoch_lag =
+                List.fold_left
+                  (fun acc v -> max acc (Southbound.epoch_lag !engine v))
+                  0 ingresses;
+              attempts = 0;
+              retries = 0;
+              retry_successes = 0;
+              failures = 0;
+              timeouts = 0;
+              outages_started = 0;
+            }
+          in
+          results :=
+            {
+              per_class;
+              max_oversub_pct = max_oversub;
+              control_faults = List.length stale;
+              data_faults = List.length faults;
+              reacted;
+              solver_fallbacks = 0;
+              rung = l_rung;
+              rung_label = "dead-band-skip";
+              deadline_hits = 0;
+              stale_alloc = false;
+              audit_cases = 0;
+              audit_violations = 0;
+              ladder = [];
+              southbound = sb;
+              kc_verdict;
+              kc_checked;
+              escalated = false;
+              controller_down = false;
+              recovered_from_journal = false;
+              recovery_interval = false;
+              view_staleness;
+              suspect_links;
+              suspect_switches;
+              estimation_err;
+              solve_skipped = true;
+              gt_data;
+            }
+            :: !results
+        end
+        else begin
+          (* The controller plans on its (possibly estimated) view; the
+             sampled guarantee auditor is pointed at ground truth, so audit
+             verdicts stay statements about the real network. *)
+          let step =
+            Controller.step !ctrl ~stale:stale_before
+              ?audit_input:(if sensing then Some input_t else None)
+              input_est ~prev:mixed_prev
+          in
+          let target = step.Controller.alloc in
+          (* --- push the update through the retrying southbound engine --- *)
+          let sb =
+            Southbound.push !engine update_rng input_t ~target ~interval_s:cfg.interval_s
+          in
+          let sent = if sensing then cap_allocation input_t target else target in
+          enforced_bf := sent.Te_types.bf;
+          let stuck_set v = List.mem v sb.Southbound.stale in
+          (* Live configuration-fault guarantee check at the protection level
+             the controller actually delivered this interval. *)
+          let kc_checked = Controller.step_kc step in
+          let kc_verdict =
+            Southbound.check_guarantee !engine ~grandfathered input_t ~target ~kc:kc_checked
+          in
+          last_kc := kc_checked;
+          let edge = Controller.step_edge step in
+          if sensing then begin
+            last_view := Some (Array.copy view);
+            last_solved := Some (target, edge, kc_checked, step.Controller.rung)
+          end;
+          (* Journal the post-step state — everything a restarted controller
+             needs to resume as if it never died. Snapshots are taken every
+             interval (not lazily at crash time): a real controller cannot
+             journal after it has crashed. *)
+          (match cfg.outage with
+          | Some { recovery = Journaled_restart; _ } ->
+            journal := Some (Controller.snapshot !ctrl, Southbound.snapshot !engine)
+          | _ -> ());
+          let faults = sample_faults interval_idx in
+          if sensing then
+            Telemetry.note_faults tele telemetry_rng ~interval:interval_idx faults;
+          (* Reaction rule uses the protection the controller actually
+             delivered this interval (a degraded rung weakens the edge), not
+             the requested configuration — further tightened by suspect
+             elements, which are charged against the budget before
+             confirmation. *)
+          let eke, ekv = edge in
+          let react_edge =
+            (max 0 (eke - suspect_links), max 0 (ekv - suspect_switches))
+          in
+          let lost_congestion, lost_blackhole, max_oversub, reacted =
+            play input_t ~target:sent ~stuck_set ~react:(Some react_edge) faults
+          in
+          let gt_data =
+            gt_verdict_of input_t ~target ~faults ~stale:sb.Southbound.stale
+              ~any_grandfathered ~edge
+          in
+          let per_class =
+            class_totals input_t ~demands
+              ~granted_of:(fun f -> sent.Te_types.bf.(f))
+              lost_congestion lost_blackhole
+          in
+          Array.iteri
+            (fun f d ->
+              backlog.(f) <- max 0. ((d -. sent.Te_types.bf.(f)) *. cfg.interval_s))
+            demands;
+          let audit_cases, audit_violations =
+            match step.Controller.audit with
+            | Some a -> (a.Controller.audit_cases, a.Controller.audit_violations)
+            | None -> (0, 0)
+          in
+          results :=
+            {
+              per_class;
+              max_oversub_pct = max_oversub;
+              control_faults = List.length sb.Southbound.stale;
+              data_faults = List.length faults;
+              reacted;
+              solver_fallbacks = step.Controller.fallbacks;
+              rung = step.Controller.rung;
+              rung_label = step.Controller.label;
+              deadline_hits = step.Controller.deadline_hits;
+              stale_alloc = step.Controller.stale;
+              audit_cases;
+              audit_violations;
+              ladder = step.Controller.attempts;
+              southbound = sb;
+              kc_verdict;
+              kc_checked;
+              escalated = step.Controller.escalated;
+              controller_down = false;
+              recovered_from_journal = !recovered;
+              recovery_interval = recovery;
+              view_staleness;
+              suspect_links;
+              suspect_switches;
+              estimation_err;
+              solve_skipped = false;
+              gt_data;
+            }
+            :: !results
+        end
       end)
     demand_series;
   List.rev !results

@@ -87,6 +87,16 @@ type config = {
       (** southbound push retry/timeout/backoff parameters *)
   outage : outage_model option;
       (** controller crash process; [None] = an always-up controller *)
+  telemetry : Telemetry.config option;
+      (** the sensing channel the controller's view passes through;
+          [None] = perfect sensing (the pre-telemetry simulator,
+          bit-identical — as is [Some Telemetry.neutral] with no
+          estimator) *)
+  estimator : Ffc_core.Estimator.config option;
+      (** robust demand estimation over the sensed reports; [None] with
+          telemetry on = the raw view (last report, no headroom, no
+          damping). Setting only the estimator implies a neutral channel:
+          envelope planning on exact measurements. *)
 }
 
 val default_config :
@@ -95,13 +105,25 @@ val default_config :
   ?audit_budget:int ->
   ?retry:Southbound.retry_policy ->
   ?outage:outage_model ->
+  ?telemetry:Telemetry.config ->
+  ?estimator:Ffc_core.Estimator.config ->
   mode:mode ->
   update_model:Update_model.t ->
   Fault_model.t ->
   config
 (** 300 s intervals, 5 ms detection, 50 ms notification, 500 ms compute, no
     solve deadline, audit budget 8, {!Southbound.default_retry}, no
-    controller outages. *)
+    controller outages, perfect sensing. *)
+
+type gt_verdict =
+  | Gt_ok
+      (** the planned allocation survives the interval's {e actual} fault
+          set on the real network ({!Ffc_core.Enumerate.check_data_case}) *)
+  | Gt_not_asserted
+      (** the case lies outside what the accepted rung certified: stale
+          switches, grandfathered (pre-overloaded, §4.5) links, faults
+          beyond the delivered (ke, kv) edge, or a down controller *)
+  | Gt_violation of string  (** a broken promise — should never happen *)
 
 type class_stats = {
   offered_gb : float;  (** demand x interval, gigabits *)
@@ -151,6 +173,25 @@ type interval_stats = {
   recovery_interval : bool;
       (** [true] iff this is the first up interval after a downtime
           (whichever recovery strategy) *)
+  view_staleness : int;
+      (** max intervals since any flow's demand report last got through
+          (0 = fresh view, and always 0 under perfect sensing) *)
+  suspect_links : int;
+      (** fibres charged against ke this interval without a confirmed
+          failure (missed keepalives, late fault notifications) *)
+  suspect_switches : int;  (** same, against kv *)
+  estimation_err : float;
+      (** mean relative divergence of the planning demands from ground
+          truth ({!Ffc_core.Estimator.mean_rel_error}); headroom counts as
+          divergence *)
+  solve_skipped : bool;
+      (** [true] iff the dead-band hysteresis skipped this interval's
+          re-solve and push ([rung_label] is ["dead-band-skip"]; the
+          standing target stayed installed) *)
+  gt_data : gt_verdict;
+      (** ground-truth data-plane verdict for this interval's actual
+          faults, checked against the {e real} network even when the
+          controller planned on an estimated view *)
 }
 
 val total_lost : interval_stats -> float

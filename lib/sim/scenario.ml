@@ -2,7 +2,14 @@ open Ffc_net
 open Ffc_core
 module Rng = Ffc_util.Rng
 
-type t = { name : string; input : Te_types.input; spec : Traffic.spec }
+type t = {
+  name : string;
+  input : Te_types.input;
+  spec : Traffic.spec;
+  calibration_scale : float;
+  calibration_achieved : float;
+  calibrated : bool;
+}
 
 (* Largest uniform demand scale at which basic TE satisfies [target]
    (99%) of total demand: bisection on the (monotone) satisfaction ratio.
@@ -44,7 +51,14 @@ let build name topo spec =
       name (100. *. achieved) k (100. *. calibration_target);
   let demands = Traffic.scale k input.Te_types.demands in
   let spec = { spec with Traffic.base_demand = demands } in
-  { name; input = { input with Te_types.demands }; spec }
+  {
+    name;
+    input = { input with Te_types.demands };
+    spec;
+    calibration_scale = k;
+    calibration_achieved = achieved;
+    calibrated = achieved >= calibration_target;
+  }
 
 let lnet_sim ?(sites = 20) ?nflows rng =
   let topo = Topo_gen.lnet ~sites rng in

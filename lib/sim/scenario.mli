@@ -12,6 +12,14 @@ type t = {
   name : string;
   input : Ffc_core.Te_types.input;  (** demands = calibrated scale-1 base *)
   spec : Traffic.spec;
+  calibration_scale : float;
+      (** the uniform demand scale the builder settled on *)
+  calibration_achieved : float;
+      (** satisfaction ratio basic TE actually reaches at that scale — the
+          machine-readable form of the stderr calibration warning *)
+  calibrated : bool;
+      (** [calibration_achieved >= target] (0.99); [false] means the
+          scenario is uncalibrated and results should be read accordingly *)
 }
 
 val lnet_sim : ?sites:int -> ?nflows:int -> Ffc_util.Rng.t -> t

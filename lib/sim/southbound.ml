@@ -84,6 +84,9 @@ let epoch_lag t v = t.target_epoch - (state t v).epoch
 let now_s t = t.now
 let target_epoch t = t.target_epoch
 
+(* The polymorphic [compare] in the switch-list sorts of this module is
+   intentional: switch ids are plain ints (no NaN hazards), and the
+   float-keyed sorts elsewhere in the tree use [Float.compare]. *)
 let stale_switches t =
   Hashtbl.fold (fun v s acc -> if s.epoch < t.target_epoch then v :: acc else acc)
     t.switches []

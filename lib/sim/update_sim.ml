@@ -28,7 +28,7 @@ let completion_time rng cfg =
         (* The step proceeds once all but the remaining budget have acked:
            wait for the (n - budget)-th fastest of the successful acks,
            where stragglers beyond the budget may be left behind. *)
-        let sorted = List.sort compare !delays in
+        let sorted = List.sort Float.compare !delays in
         let n_done = List.length sorted in
         let wait_for = max 0 (n_done - !budget) in
         let step_time =

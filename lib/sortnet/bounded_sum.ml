@@ -119,9 +119,9 @@ let sum_smallest ?(encoding = `Sorting_network) model xs m =
     | `Duality -> duality_smallest model xs m
 
 let value_sum_largest xs m =
-  let sorted = List.sort (fun a b -> compare b a) xs in
+  let sorted = List.sort (fun a b -> Float.compare b a) xs in
   List.fold_left ( +. ) 0. (List.filteri (fun i _ -> i < m) sorted)
 
 let value_sum_smallest xs m =
-  let sorted = List.sort compare xs in
+  let sorted = List.sort Float.compare xs in
   List.fold_left ( +. ) 0. (List.filteri (fun i _ -> i < m) sorted)

@@ -291,6 +291,7 @@ let crash_plan =
     p_faults =
       [ { Chaos.fs_interval = 3; fs_time = 0.4; fs_elem = Chaos.Fibre 2 } ];
     p_crash = Some { Chaos.cr_interval = 1; cr_downtime = 400. };
+    p_telemetry = None;
   }
 
 let test_outage_flags_and_journal_recovery () =
