@@ -18,8 +18,17 @@ module Sim = Ffc_sim
 module Rng = Ffc_util.Rng
 module Stats = Ffc_util.Stats
 module Table = Ffc_util.Table
+module Pool = Ffc_util.Pool
 
 let fast = ref false
+
+(* -j/--jobs N: domain pool shared by the pool-aware experiments (fuzz,
+   chaos); 1 = sequential. Results are bit-identical either way — the
+   [parallel] experiment asserts exactly that. *)
+let jobs = ref 1
+
+let with_bench_pool f =
+  if !jobs <= 1 then f None else Pool.with_pool ~jobs:!jobs (fun p -> f (Some p))
 
 let intervals n = if !fast then max 3 (n / 4) else n
 
@@ -1470,9 +1479,14 @@ let southbound () =
 let fuzz () =
   section "fuzz: seeded differential campaign (lib/check oracles)";
   let module Fuzz = Ffc_check.Fuzz in
+  with_bench_pool @@ fun pool ->
   let count = if !fast then 60 else 300 in
   let time_budget_ms = if !fast then 20_000. else 120_000. in
-  let r = Fuzz.run ~seed:42 ~count ~time_budget_ms ~oracles:(Ffc_check.Oracles.all ()) () in
+  let r =
+    Fuzz.run ?pool ~seed:42 ~count ~time_budget_ms
+      ~oracles:(Ffc_check.Oracles.all ?pool ())
+      ()
+  in
   Format.printf "%a@." Fuzz.pp_report r;
   let starved =
     List.filter (fun (o : Fuzz.oracle_report) -> o.Fuzz.exercised = 0) r.Fuzz.oracles
@@ -1619,9 +1633,10 @@ let chaos () =
   let hr =
     (* telemetry:true seeds roughly half the restarts behind a lossy sensing
        plane, so the CI hunt also attacks the imperfect-sensing layer. *)
-    Ffc_check.Chaos.hunt ~seed:42 ~budget:hunt_budget ~sites:4 ~intervals:hunt_intervals
-      ~telemetry:true ~kc:protection.Te_types.kc ~ke:protection.Te_types.ke
-      ~kv:protection.Te_types.kv ()
+    with_bench_pool @@ fun pool ->
+    Ffc_check.Chaos.hunt ?pool ~seed:42 ~budget:hunt_budget ~sites:4
+      ~intervals:hunt_intervals ~telemetry:true ~kc:protection.Te_types.kc
+      ~ke:protection.Te_types.ke ~kv:protection.Te_types.kv ()
   in
   Format.printf "%a@." Ffc_check.Chaos.pp_report hr;
   (match hr.Ffc_check.Chaos.h_finding with
@@ -1869,6 +1884,87 @@ let telemetry () =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel campaign engine: determinism and speedup                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The domain-pool contract, asserted end to end: a fuzz campaign and a
+   chaos hunt at j=4 must be bit-identical to j=1 (same instances, same
+   verdicts, same shrunk findings — elapsed wall-clock aside), and on a
+   multicore host the campaign must actually go faster. The speedup gate is
+   skipped (identity still asserted) when the runner exposes a single core.
+   Emits BENCH_parallel.json. *)
+let parallel_bench () =
+  section "parallel: domain-pool determinism (j=1 vs j=4) and campaign speedup";
+  let module Fuzz = Ffc_check.Fuzz in
+  let module Chaos = Ffc_check.Chaos in
+  let count = if !fast then 40 else 120 in
+  let hunt_budget = if !fast then 8 else 24 in
+  let time name f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "  %-24s %.2f s\n%!" name dt;
+    (r, dt)
+  in
+  (* No time budget: truncation granularity is the one sanctioned j-dependent
+     difference, so an identity assertion must not involve it. *)
+  let campaign pool () =
+    Fuzz.run ?pool ~seed:42 ~count ~oracles:(Ffc_check.Oracles.all ?pool ()) ()
+  in
+  let hunt pool () =
+    Chaos.hunt ?pool ~seed:42 ~budget:hunt_budget ~sites:4 ~intervals:4
+      ~telemetry:true ~kc:2 ~ke:1 ~kv:0 ()
+  in
+  let r1, t1 = time "fuzz j=1" (campaign None) in
+  let (r4, t4), (h1, _), (h4, _) =
+    Pool.with_pool ~jobs:4 (fun p ->
+        let r4 = time "fuzz j=4" (campaign (Some p)) in
+        let h1 = time "hunt j=1" (hunt None) in
+        let h4 = time "hunt j=4" (hunt (Some p)) in
+        (r4, h1, h4))
+  in
+  let fuzz_identical = r1.Fuzz.oracles = r4.Fuzz.oracles in
+  let hunt_identical = h1 = h4 in
+  let cores = Pool.recommended_jobs () in
+  let speedup = t1 /. max 1e-9 t4 in
+  let speedup_checked = cores >= 2 in
+  let speedup_ok = (not speedup_checked) || speedup >= 1.8 in
+  if not speedup_checked then
+    Printf.printf "  single-core runner (%d recommended domain(s)): speedup gate skipped\n"
+      cores
+  else Printf.printf "  fuzz speedup j=4 vs j=1: %.2fx (gate: >= 1.8x)\n" speedup;
+  let check name ok = Printf.printf "  %-52s %s\n" name (if ok then "PASS" else "FAIL") in
+  check "fuzz campaign bit-identical across j" fuzz_identical;
+  check "chaos hunt bit-identical across j" hunt_identical;
+  check
+    (if speedup_checked then "parallel campaign >= 1.8x faster"
+     else "parallel campaign speedup (skipped: 1 core)")
+    speedup_ok;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"experiment\": \"parallel\",\n\
+      \  \"count\": %d,\n\
+      \  \"hunt_budget\": %d,\n\
+      \  \"cores\": %d,\n\
+      \  \"fuzz_s_j1\": %.3f,\n\
+      \  \"fuzz_s_j4\": %.3f,\n\
+      \  \"speedup\": %.3f,\n\
+      \  \"speedup_checked\": %b,\n\
+      \  \"contracts\": { \"fuzz_identical\": %b, \"hunt_identical\": %b, \
+       \"speedup_ok\": %b }\n\
+       }\n"
+      count hunt_budget cores t1 t4 speedup speedup_checked fuzz_identical
+      hunt_identical speedup_ok
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_parallel.json\n";
+  if not (fuzz_identical && hunt_identical && speedup_ok) then
+    failwith "parallel: determinism/speedup contract violated"
+
 let experiments =
   [
     ("figure1a", figure1a);
@@ -1893,10 +1989,24 @@ let experiments =
     ("fuzz", fuzz);
     ("chaos", chaos);
     ("telemetry", telemetry);
+    ("parallel", parallel_bench);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* -j N / --jobs N / -j4-style: worker domains for pool-aware experiments. *)
+  let rec parse_jobs = function
+    | [] -> []
+    | ("-j" | "--jobs") :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some v when v >= 1 ->
+        jobs := v;
+        parse_jobs rest
+      | _ -> failwith (Printf.sprintf "jobs must be a positive integer, got %S" n))
+    | ("-j" | "--jobs") :: [] -> failwith "missing value after -j/--jobs"
+    | a :: rest -> a :: parse_jobs rest
+  in
+  let args = parse_jobs args in
   let args =
     List.filter
       (fun a ->

@@ -9,6 +9,13 @@ open Ffc_core
 module Sim = Ffc_sim
 module Rng = Ffc_util.Rng
 module Table = Ffc_util.Table
+module Pool = Ffc_util.Pool
+module Validate = Ffc_util.Validate
+
+(* [jobs = 1] means no pool at all: the sequential code paths run exactly as
+   they always have, rather than through a degenerate one-domain pool. *)
+let with_jobs jobs f =
+  if jobs <= 1 then f None else Pool.with_pool ~jobs (fun p -> f (Some p))
 
 let scenario_of_name ?sites name seed =
   let rng = Rng.create seed in
@@ -97,7 +104,8 @@ let solve_cmd network seed scale kc ke kv encoding objective =
 
 let simulate_cmd network seed scale mode intervals model kc ke kv deadline_ms audit_budget
     retries retry_timeout retry_backoff telemetry_loss telemetry_delay demand_noise
-    headroom dead_band =
+    headroom dead_band jobs =
+  with_jobs jobs @@ fun pool ->
   let sc = scenario_of_name network seed in
   let input = sc.Sim.Scenario.input in
   (* Machine-readable calibration result (the stderr warning, if any, was
@@ -140,7 +148,7 @@ let simulate_cmd network seed scale mode intervals model kc ke kv deadline_ms au
   in
   let cfg =
     Sim.Interval_sim.default_config ?deadline_ms ~audit_budget ~retry ?telemetry
-      ?estimator ~mode ~update_model:um fm
+      ?estimator ?pool ~mode ~update_model:um fm
   in
   let series = Sim.Scenario.demand_series (Rng.create (seed + 1)) sc ~scale ~intervals in
   let stats = Sim.Interval_sim.run ~rng:(Rng.create (seed + 2)) cfg input ~demand_series:series in
@@ -315,17 +323,18 @@ let verify_cmd network seed sites scale kc ke kv rescale_aware =
 (* fuzz                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let fuzz_cmd seed count budget_ms oracles repro_out =
+let fuzz_cmd seed count budget_ms oracles repro_out jobs =
   let module Fuzz = Ffc_check.Fuzz in
+  with_jobs jobs @@ fun pool ->
   let oracles =
     match oracles with
-    | [] -> Ffc_check.Oracles.all ()
+    | [] -> Ffc_check.Oracles.all ?pool ()
     | names -> (
-      match Ffc_check.Oracles.select names with
+      match Ffc_check.Oracles.select ?pool names with
       | Ok os -> os
       | Error e -> failwith e)
   in
-  let report = Fuzz.run ~seed ~count ?time_budget_ms:budget_ms ~oracles () in
+  let report = Fuzz.run ?pool ~seed ~count ?time_budget_ms:budget_ms ~oracles () in
   Format.printf "%a@." Fuzz.pp_report report;
   match Fuzz.failures report with
   | [] -> ()
@@ -347,17 +356,18 @@ let fuzz_cmd seed count budget_ms oracles repro_out =
 (* chaos                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let chaos_cmd seed budget sites intervals scale realistic kc ke kv repro_out =
+let chaos_cmd seed budget sites intervals scale realistic kc ke kv repro_out jobs =
   let module Chaos = Ffc_check.Chaos in
+  with_jobs jobs @@ fun pool ->
   Printf.printf
     "chaos hunt: kc=%d ke=%d kv=%d, %d-site L-Net, %d intervals, scale %g, %s model, \
-     budget %d run(s), seed %d\n\
+     budget %d run(s), seed %d, %d job(s)\n\
      %!"
     kc ke kv sites intervals scale
     (if realistic then "realistic" else "optimistic")
-    budget seed;
+    budget seed (max 1 jobs);
   let report =
-    Chaos.hunt ~seed ~budget ~sites ~intervals ~scale ~realistic ~kc ~ke ~kv ()
+    Chaos.hunt ?pool ~seed ~budget ~sites ~intervals ~scale ~realistic ~kc ~ke ~kv ()
   in
   Format.printf "%a@." Chaos.pp_report report;
   match report.Chaos.h_finding with
@@ -376,12 +386,49 @@ let chaos_cmd seed budget sites intervals scale realistic kc ke kv repro_out =
 
 open Cmdliner
 
+(* Range-validated option converters (see Ffc_util.Validate): out-of-range
+   values are rejected at parse time with a one-line message instead of
+   misbehaving downstream (a negative count silently disabling a loop, a
+   probability above 1 skewing every bernoulli draw). *)
+let wrap parse pp = Arg.conv ((fun s -> Result.map_error (fun e -> `Msg e) (parse s)), pp)
+let pp_float ppf v = Format.fprintf ppf "%g" v
+let probability = wrap Validate.probability pp_float
+let nonneg_float what = wrap (Validate.nonneg_float ~what) pp_float
+let pos_float what = wrap (Validate.pos_float ~what) pp_float
+let nonneg_int what = wrap (Validate.nonneg_int ~what) Format.pp_print_int
+let pos_int what = wrap (Validate.pos_int ~what) Format.pp_print_int
+
 let network = Arg.(value & opt string "lnet" & info [ "network"; "n" ] ~doc:"lnet or snet")
 let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed")
-let scale = Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Traffic scale (0.5/1/2)")
-let kc = Arg.(value & opt int 0 & info [ "kc" ] ~doc:"Config-fault protection level")
-let ke = Arg.(value & opt int 0 & info [ "ke" ] ~doc:"Link-failure protection level")
-let kv = Arg.(value & opt int 0 & info [ "kv" ] ~doc:"Switch-failure protection level")
+
+let scale =
+  Arg.(
+    value
+    & opt (pos_float "--scale") 1.0
+    & info [ "scale" ] ~doc:"Traffic scale (0.5/1/2)")
+
+let kc =
+  Arg.(
+    value & opt (nonneg_int "--kc") 0 & info [ "kc" ] ~doc:"Config-fault protection level")
+
+let ke =
+  Arg.(
+    value & opt (nonneg_int "--ke") 0 & info [ "ke" ] ~doc:"Link-failure protection level")
+
+let kv =
+  Arg.(
+    value
+    & opt (nonneg_int "--kv") 0
+    & info [ "kv" ] ~doc:"Switch-failure protection level")
+
+let jobs =
+  Arg.(
+    value
+    & opt (pos_int "--jobs") 1
+    & info [ "jobs"; "j" ]
+        ~doc:
+          "Worker domains for parallel execution (1 = sequential; results are \
+           bit-identical at any value)")
 
 let encoding =
   Arg.(
@@ -399,47 +446,61 @@ let solve_t =
   Term.(const solve_cmd $ network $ seed $ scale $ kc $ ke $ kv $ encoding $ objective)
 
 let mode = Arg.(value & opt string "ffc" & info [ "mode" ] ~doc:"ffc or reactive")
-let intervals = Arg.(value & opt int 10 & info [ "intervals" ] ~doc:"Number of 5-min intervals")
+
+let intervals =
+  Arg.(
+    value
+    & opt (pos_int "--intervals") 10
+    & info [ "intervals" ] ~doc:"Number of 5-min intervals")
 
 let model =
   Arg.(value & opt string "realistic" & info [ "model" ] ~doc:"Switch model: realistic or optimistic")
 
-let kc_sim = Arg.(value & opt int 2 & info [ "kc" ] ~doc:"Config-fault protection")
-let ke_sim = Arg.(value & opt int 1 & info [ "ke" ] ~doc:"Link-failure protection")
-let kv_sim = Arg.(value & opt int 0 & info [ "kv" ] ~doc:"Switch-failure protection")
+let kc_sim =
+  Arg.(value & opt (nonneg_int "--kc") 2 & info [ "kc" ] ~doc:"Config-fault protection")
+
+let ke_sim =
+  Arg.(value & opt (nonneg_int "--ke") 1 & info [ "ke" ] ~doc:"Link-failure protection")
+
+let kv_sim =
+  Arg.(value & opt (nonneg_int "--kv") 0 & info [ "kv" ] ~doc:"Switch-failure protection")
 
 let deadline_ms =
   Arg.(
     value
-    & opt (some float) None
+    & opt (some (pos_float "--deadline-ms")) None
     & info [ "deadline-ms" ]
         ~doc:"Wall-clock budget per controller solve attempt (milliseconds)")
 
 let audit_budget =
   Arg.(
-    value & opt int 8
+    value
+    & opt (nonneg_int "--audit-budget") 8
     & info [ "audit-budget" ]
         ~doc:"Sampled guarantee-audit cases per accepted solve (0 disables)")
 
 let retries =
   Arg.(
-    value & opt int 6
+    value
+    & opt (pos_int "--retries") 6
     & info [ "retries" ] ~doc:"Max southbound push attempts per switch per interval")
 
 let retry_timeout =
   Arg.(
-    value & opt float 10.
+    value
+    & opt (pos_float "--retry-timeout") 10.
     & info [ "retry-timeout" ] ~doc:"Per-attempt straggler timeout (seconds)")
 
 let retry_backoff =
   Arg.(
-    value & opt float 1.
+    value
+    & opt (nonneg_float "--retry-backoff") 1.
     & info [ "retry-backoff" ]
         ~doc:"Base backoff between attempts (seconds; doubles per retry, jittered)")
 
 let telemetry_loss =
   Arg.(
-    value & opt float 0.
+    value & opt probability 0.
     & info [ "telemetry-loss" ]
         ~doc:
           "Drop probability of demand reports and fault notifications (keepalive miss \
@@ -447,19 +508,21 @@ let telemetry_loss =
 
 let telemetry_delay =
   Arg.(
-    value & opt int 0
+    value
+    & opt (nonneg_int "--telemetry-delay") 0
     & info [ "telemetry-delay" ]
         ~doc:"Interval edges a fault notification lags (elements arrive suspect)")
 
 let demand_noise =
   Arg.(
-    value & opt float 0.
+    value
+    & opt (nonneg_float "--demand-noise") 0.
     & info [ "demand-noise" ] ~doc:"Relative sigma of demand-report noise")
 
 let headroom =
   Arg.(
     value
-    & opt (some float) None
+    & opt (some (nonneg_float "--headroom")) None
     & info [ "headroom" ]
         ~doc:
           "Enable the robust demand estimator with this relative envelope margin gamma \
@@ -468,7 +531,7 @@ let headroom =
 let dead_band =
   Arg.(
     value
-    & opt (some float) None
+    & opt (some (nonneg_float "--dead-band")) None
     & info [ "dead-band" ]
         ~doc:
           "Enable the estimator and skip re-solves when the view moved less than this \
@@ -478,11 +541,15 @@ let simulate_t =
   Term.(
     const simulate_cmd $ network $ seed $ scale $ mode $ intervals $ model $ kc_sim $ ke_sim
     $ kv_sim $ deadline_ms $ audit_budget $ retries $ retry_timeout $ retry_backoff
-    $ telemetry_loss $ telemetry_delay $ demand_noise $ headroom $ dead_band)
+    $ telemetry_loss $ telemetry_delay $ demand_noise $ headroom $ dead_band $ jobs)
 
 let plan_t = Term.(const plan_cmd $ network $ seed $ scale $ kc $ ke $ kv)
 
-let sites = Arg.(value & opt int 7 & info [ "sites" ] ~doc:"L-Net size for verification")
+let sites =
+  Arg.(
+    value
+    & opt (pos_int "--sites") 7
+    & info [ "sites" ] ~doc:"L-Net size for verification")
 
 let rescale_aware =
   Arg.(value & flag & info [ "rescale-aware" ] ~doc:"Use the combined-fault-sound beta bound")
@@ -491,12 +558,12 @@ let verify_t =
   Term.(const verify_cmd $ network $ seed $ sites $ scale $ kc $ ke $ kv $ rescale_aware)
 
 let fuzz_count =
-  Arg.(value & opt int 200 & info [ "count" ] ~doc:"Instances per oracle")
+  Arg.(value & opt (pos_int "--count") 200 & info [ "count" ] ~doc:"Instances per oracle")
 
 let fuzz_budget =
   Arg.(
     value
-    & opt (some float) None
+    & opt (some (pos_float "--budget-ms")) None
     & info [ "budget-ms" ] ~doc:"Wall-clock budget for the whole campaign (milliseconds)")
 
 let fuzz_oracles =
@@ -510,28 +577,47 @@ let fuzz_repro_out =
     & info [ "repro-out" ] ~doc:"Where to write minimal repro snippets on failure")
 
 let fuzz_t =
-  Term.(const fuzz_cmd $ seed $ fuzz_count $ fuzz_budget $ fuzz_oracles $ fuzz_repro_out)
+  Term.(
+    const fuzz_cmd $ seed $ fuzz_count $ fuzz_budget $ fuzz_oracles $ fuzz_repro_out
+    $ jobs)
 
 let chaos_budget =
-  Arg.(value & opt int 48 & info [ "budget" ] ~doc:"Simulator runs the hunt may spend")
+  Arg.(
+    value
+    & opt (pos_int "--budget") 48
+    & info [ "budget" ] ~doc:"Simulator runs the hunt may spend")
 
 let chaos_sites =
-  Arg.(value & opt int 4 & info [ "sites" ] ~doc:"L-Net size the hunt plans against")
+  Arg.(
+    value
+    & opt (pos_int "--sites") 4
+    & info [ "sites" ] ~doc:"L-Net size the hunt plans against")
 
 let chaos_intervals =
-  Arg.(value & opt int 6 & info [ "intervals" ] ~doc:"Intervals per chaos plan")
+  Arg.(
+    value
+    & opt (pos_int "--intervals") 6
+    & info [ "intervals" ] ~doc:"Intervals per chaos plan")
 
 let chaos_scale =
-  Arg.(value & opt float 1.2 & info [ "scale" ] ~doc:"Traffic scale of the hunted scenario")
+  Arg.(
+    value
+    & opt (pos_float "--scale") 1.2
+    & info [ "scale" ] ~doc:"Traffic scale of the hunted scenario")
 
 let chaos_realistic =
   Arg.(
     value & flag
     & info [ "realistic" ] ~doc:"Use the realistic (lossy) southbound update model")
 
-let chaos_kc = Arg.(value & opt int 2 & info [ "kc" ] ~doc:"Config-fault protection")
-let chaos_ke = Arg.(value & opt int 1 & info [ "ke" ] ~doc:"Link-failure protection")
-let chaos_kv = Arg.(value & opt int 0 & info [ "kv" ] ~doc:"Switch-failure protection")
+let chaos_kc =
+  Arg.(value & opt (nonneg_int "--kc") 2 & info [ "kc" ] ~doc:"Config-fault protection")
+
+let chaos_ke =
+  Arg.(value & opt (nonneg_int "--ke") 1 & info [ "ke" ] ~doc:"Link-failure protection")
+
+let chaos_kv =
+  Arg.(value & opt (nonneg_int "--kv") 0 & info [ "kv" ] ~doc:"Switch-failure protection")
 
 let chaos_repro_out =
   Arg.(
@@ -541,7 +627,7 @@ let chaos_repro_out =
 let chaos_t =
   Term.(
     const chaos_cmd $ seed $ chaos_budget $ chaos_sites $ chaos_intervals $ chaos_scale
-    $ chaos_realistic $ chaos_kc $ chaos_ke $ chaos_kv $ chaos_repro_out)
+    $ chaos_realistic $ chaos_kc $ chaos_ke $ chaos_kv $ chaos_repro_out $ jobs)
 
 let cmds =
   [

@@ -2,6 +2,7 @@ open Ffc_net
 open Ffc_core
 open Ffc_sim
 module Rng = Ffc_util.Rng
+module Pool = Ffc_util.Pool
 
 type elem = Fibre of int | Switch of int
 
@@ -69,7 +70,13 @@ let forced_of_plan plan topo =
         (List.sort (fun a b -> Float.compare a.Fault_model.time_s b.Fault_model.time_s) faults)
     end
 
+(* Test hook, called with the plan at the start of every [run_plan]: the
+   crash-regression test forces a raise here to prove a simulator crash
+   surfaces as a shrunk ["crash:"] finding instead of being swallowed. *)
+let run_plan_hook : (plan -> unit) ref = ref (fun _ -> ())
+
 let run_plan plan =
+  !run_plan_hook plan;
   let scen_rng = Rng.create plan.p_seed in
   let sc = Scenario.lnet_sim ~sites:(max 3 plan.p_sites) scen_rng in
   let intervals = max 1 plan.p_intervals in
@@ -416,31 +423,48 @@ let mutate rng p =
     { p with p_telemetry = random_telemetry rng }
   | _ -> { p with p_seed = Rng.int rng 1_000_000 }
 
-let hunt ?(seed = 42) ?(budget = 48) ?(sites = 4) ?(intervals = 6) ?(scale = 1.2)
-    ?(realistic = false) ?(telemetry = false) ~kc ~ke ~kv () =
-  let rng = Rng.create seed in
-  let evaluated = ref 0 in
-  let best = ref 0. in
-  let found = ref None in
+(* One restart costs at most [1 + climb_steps] plan evaluations. *)
+let climb_steps = 7
+let evals_per_restart = 1 + climb_steps
+
+type restart_out = {
+  ro_evaluated : int;
+  ro_best : float;
+  ro_found : (plan * string) option;
+}
+
+(* One random restart refined by a short greedy climb: accept a mutation iff
+   it scores at least as badly (plateau moves let the climb slide across
+   equal-score regions). Each plan is run exactly once; an exception escaping
+   the simulator is converted into a top-priority ["crash:"] finding rather
+   than being swallowed into a zero score — a crashing run is the strongest
+   possible evidence the hunter can produce. *)
+let run_restart ~sites ~intervals ~scale ~realistic ~telemetry ~kc ~ke ~kv rng
+    ~allowance =
+  let evaluated = ref 0 and best = ref 0. and found = ref None in
   let eval p =
     incr evaluated;
-    match Fuzz.run_test test p with
-    | Fuzz.Fail m ->
-      found := Some (p, m);
+    match run_plan p with
+    | exception e ->
+      found := Some (p, "crash: " ^ Printexc.to_string e);
       infinity
-    | _ ->
-      let s = try score (run_plan p) with _ -> 0. in
-      if s > !best then best := s;
-      s
+    | stats -> (
+      match verdict_of stats with
+      | Fuzz.Fail m ->
+        found := Some (p, m);
+        infinity
+      | Fuzz.Pass | Fuzz.Skip _ ->
+        let s = score stats in
+        if s > !best then best := s;
+        s)
   in
-  (* Random restarts, each refined by a short greedy climb: accept a
-     mutation iff it scores at least as badly (plateau moves let the climb
-     slide across equal-score regions). *)
-  while !evaluated < budget && !found = None do
-    let cur = ref (random_plan rng ~sites ~intervals ~scale ~realistic ~telemetry ~kc ~ke ~kv) in
+  if allowance > 0 then begin
+    let cur =
+      ref (random_plan rng ~sites ~intervals ~scale ~realistic ~telemetry ~kc ~ke ~kv)
+    in
     let cur_score = ref (eval !cur) in
     let steps = ref 0 in
-    while !steps < 7 && !evaluated < budget && !found = None do
+    while !steps < climb_steps && !evaluated < allowance && !found = None do
       incr steps;
       let cand = mutate rng !cur in
       let s = eval cand in
@@ -449,7 +473,54 @@ let hunt ?(seed = 42) ?(budget = 48) ?(sites = 4) ?(intervals = 6) ?(scale = 1.2
         cur_score := s
       end
     done
-  done;
+  end;
+  { ro_evaluated = !evaluated; ro_best = !best; ro_found = !found }
+
+let hunt ?pool ?(seed = 42) ?(budget = 48) ?(sites = 4) ?(intervals = 6)
+    ?(scale = 1.2) ?(realistic = false) ?(telemetry = false) ~kc ~ke ~kv () =
+  let master = Rng.create seed in
+  let restarts = max 1 ((budget + evals_per_restart - 1) / evals_per_restart) in
+  (* Restart r's stream is the r-th split of the master — a pure function of
+     (seed, r) — and its evaluation allowance is the slice of the budget the
+     sequential hunt would have left it, so sequential and parallel hunts
+     explore the same plans with the same budgets. *)
+  let rngs = Array.init restarts (fun _ -> Rng.split master) in
+  let allowance r = max 0 (min evals_per_restart (budget - (r * evals_per_restart))) in
+  let run r =
+    run_restart ~sites ~intervals ~scale ~realistic ~telemetry ~kc ~ke ~kv rngs.(r)
+      ~allowance:(allowance r)
+  in
+  let outs =
+    match pool with
+    | Some p when Pool.jobs p > 1 -> Pool.map p run (Array.init restarts Fun.id)
+    | _ ->
+      let outs =
+        Array.make restarts { ro_evaluated = 0; ro_best = 0.; ro_found = None }
+      in
+      (try
+         for r = 0 to restarts - 1 do
+           outs.(r) <- run r;
+           if outs.(r).ro_found <> None then raise Exit
+         done
+       with Exit -> ());
+      outs
+  in
+  (* Deterministic combine: only the prefix up to and including the first
+     restart with a finding counts, so the parallel hunt — which may have
+     raced ahead and found later violations too — reports exactly what the
+     sequential one does. *)
+  let evaluated = ref 0 and best = ref 0. and found = ref None in
+  (try
+     Array.iter
+       (fun o ->
+         evaluated := !evaluated + o.ro_evaluated;
+         if o.ro_best > !best then best := o.ro_best;
+         if o.ro_found <> None then begin
+           found := o.ro_found;
+           raise Exit
+         end)
+       outs
+   with Exit -> ());
   let finding =
     match !found with
     | None -> None

@@ -75,6 +75,12 @@ type plan = {
           estimator with headroom 0.2, dead-band 0.02) *)
 }
 
+val run_plan_hook : (plan -> unit) ref
+(** Test hook invoked with the plan at the start of every {!run_plan};
+    regression tests force a raise here to prove simulator crashes surface
+    as shrunk ["crash:"] findings. Defaults to a no-op — reset it after
+    use. *)
+
 val run_plan : plan -> Ffc_sim.Interval_sim.interval_stats list
 (** Execute the plan (deterministic in the plan alone). *)
 
@@ -115,6 +121,7 @@ type hunt_report = {
 }
 
 val hunt :
+  ?pool:Ffc_util.Pool.t ->
   ?seed:int ->
   ?budget:int ->
   ?sites:int ->
@@ -135,6 +142,14 @@ val hunt :
     [telemetry] (default false) seeds each restart with a ~50% chance of a
     random lossy sensing plane; the mutation step may introduce or clear one
     either way. Defaults: seed 42, budget 48, 4 sites, 6 intervals, scale
-    1.2, optimistic update model. *)
+    1.2, optimistic update model.
+
+    Each restart draws from its own split of the master stream — a pure
+    function of (seed, restart index) — and owns the budget slice the
+    sequential schedule would give it, so with [pool] the restarts run as
+    parallel climbers and the report (first finding by restart index,
+    evaluation count, best score over the same prefix) is identical to the
+    sequential hunt's. A crash inside the simulator is converted into a
+    ["crash:"] finding — shrunk like any other — never silently scored. *)
 
 val pp_report : Format.formatter -> hunt_report -> unit

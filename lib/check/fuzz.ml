@@ -1,5 +1,6 @@
 module Rng = Ffc_util.Rng
 module Clock = Ffc_util.Clock
+module Pool = Ffc_util.Pool
 
 type verdict = Pass | Skip of string | Fail of string
 
@@ -83,7 +84,100 @@ let minimise ~test ~shrink x0 msg0 =
    rest are almost certainly the same bug. *)
 let max_findings_per_oracle = 3
 
-let run ?(seed = 42) ?(count = 100) ?time_budget_ms ~oracles () =
+let finding_of ~seed s (i, x, message) =
+  let xmin, min_message, shrink_steps = minimise ~test:s.test ~shrink:s.shrink x message in
+  {
+    f_oracle = s.name;
+    f_seed = seed;
+    f_index = i;
+    message;
+    min_message;
+    shrink_steps;
+    repro = s.repro xmin;
+  }
+
+let run_oracle_seq ~seed ~count ~out_of_time (Oracle s) stream =
+  let exercised = ref 0 and skipped = ref 0 in
+  let findings = ref [] in
+  (try
+     for i = 0 to count - 1 do
+       if out_of_time () || List.length !findings >= max_findings_per_oracle then
+         raise Exit;
+       let rng = Rng.split stream in
+       let x = s.generate rng in
+       match run_test s.test x with
+       | Pass -> incr exercised
+       | Skip _ -> incr skipped
+       | Fail message ->
+         incr exercised;
+         findings := finding_of ~seed s (i, x, message) :: !findings
+     done
+   with Exit -> ());
+  {
+    o_name = s.name;
+    exercised = !exercised;
+    skipped = !skipped;
+    findings = List.rev !findings;
+  }
+
+(* Parallel campaign over one oracle: instances are sharded across the pool
+   in chunks, but every instance is still the pure function of
+   (seed, oracle, index) fixed by the split-stream discipline — the rngs are
+   pre-split in index order below — and the Pass/Skip/Fail accounting is
+   replayed over the chunk's verdicts in index order, stopping exactly where
+   the sequential loop would (the finding cap applies before an index is
+   processed). Shrinking is a deterministic per-instance function, so the
+   surviving findings are shrunk concurrently without affecting output.
+   With no time budget, the report is bit-identical to the sequential one
+   (modulo wall-clock [elapsed_ms]); a time budget truncates at chunk
+   granularity instead of per instance, which — like sequential truncation —
+   only shortens the stream, never changes what an index denotes. *)
+let run_oracle_par pool ~seed ~count ~out_of_time (Oracle s) stream =
+  let rngs = Array.init count (fun _ -> Rng.split stream) in
+  let exercised = ref 0 and skipped = ref 0 in
+  let raw = ref [] and nraw = ref 0 in
+  let stop = ref false in
+  let chunk = max 8 (4 * Pool.jobs pool) in
+  let i = ref 0 in
+  while (not !stop) && !i < count && not (out_of_time ()) do
+    let hi = min count (!i + chunk) in
+    let idx = Array.init (hi - !i) (fun k -> !i + k) in
+    let verdicts =
+      Pool.map pool
+        (fun j ->
+          let x = s.generate rngs.(j) in
+          match run_test s.test x with
+          | Pass -> `Pass
+          | Skip _ -> `Skip
+          | Fail m -> `Fail (x, m))
+        idx
+    in
+    Array.iteri
+      (fun k v ->
+        if not !stop then
+          if !nraw >= max_findings_per_oracle then stop := true
+          else
+            match v with
+            | `Pass -> incr exercised
+            | `Skip -> incr skipped
+            | `Fail (x, m) ->
+              incr exercised;
+              raw := (idx.(k), x, m) :: !raw;
+              incr nraw)
+      verdicts;
+    i := hi
+  done;
+  let findings =
+    Pool.map pool (finding_of ~seed s) (Array.of_list (List.rev !raw))
+  in
+  {
+    o_name = s.name;
+    exercised = !exercised;
+    skipped = !skipped;
+    findings = Array.to_list findings;
+  }
+
+let run ?pool ?(seed = 42) ?(count = 100) ?time_budget_ms ~oracles () =
   let t0 = Clock.now_ms () in
   let master = Rng.create seed in
   (* One independent stream per oracle, split in listing order, then one
@@ -96,46 +190,12 @@ let run ?(seed = 42) ?(count = 100) ?time_budget_ms ~oracles () =
     | Some b -> Clock.since_ms t0 > b
     | None -> false
   in
-  let oracles =
-    List.map
-      (fun (Oracle s, stream) ->
-        let exercised = ref 0 and skipped = ref 0 in
-        let findings = ref [] in
-        (try
-           for i = 0 to count - 1 do
-             if out_of_time () || List.length !findings >= max_findings_per_oracle
-             then raise Exit;
-             let rng = Rng.split stream in
-             let x = s.generate rng in
-             match run_test s.test x with
-             | Pass -> incr exercised
-             | Skip _ -> incr skipped
-             | Fail message ->
-               incr exercised;
-               let xmin, min_message, shrink_steps =
-                 minimise ~test:s.test ~shrink:s.shrink x message
-               in
-               findings :=
-                 {
-                   f_oracle = s.name;
-                   f_seed = seed;
-                   f_index = i;
-                   message;
-                   min_message;
-                   shrink_steps;
-                   repro = s.repro xmin;
-                 }
-                 :: !findings
-           done
-         with Exit -> ());
-        {
-          o_name = s.name;
-          exercised = !exercised;
-          skipped = !skipped;
-          findings = List.rev !findings;
-        })
-      streams
+  let run_oracle =
+    match pool with
+    | Some p when Pool.jobs p > 1 -> run_oracle_par p ~seed ~count ~out_of_time
+    | _ -> run_oracle_seq ~seed ~count ~out_of_time
   in
+  let oracles = List.map (fun (o, stream) -> run_oracle o stream) streams in
   { r_seed = seed; elapsed_ms = Clock.since_ms t0; oracles }
 
 let failures r = List.concat_map (fun o -> o.findings) r.oracles

@@ -64,6 +64,7 @@ val minimise :
     steps. Bounded by a fixed total attempt budget. *)
 
 val run :
+  ?pool:Ffc_util.Pool.t ->
   ?seed:int ->
   ?count:int ->
   ?time_budget_ms:float ->
@@ -75,7 +76,13 @@ val run :
     budget elapses — truncation only shortens each oracle's instance
     stream, it never changes which instance a given (seed, oracle, index)
     denotes. Each oracle stops after a few findings (shrinking dominates
-    cost, and further failures are almost always the same bug). *)
+    cost, and further failures are almost always the same bug).
+
+    With [pool] (of more than one job) instances are sharded across the
+    pool's domains in chunks; because every instance is a pure function of
+    (seed, oracle, index) and verdicts are folded back in index order, the
+    report is bit-identical to the sequential run whenever no time budget
+    truncates the stream (and [elapsed_ms] aside). *)
 
 val failures : report -> finding list
 

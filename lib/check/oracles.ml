@@ -11,8 +11,17 @@ open Ffc_lp
 open Ffc_net
 open Ffc_core
 module Rng = Ffc_util.Rng
+module Pool = Ffc_util.Pool
 
 let failf fmt = Printf.ksprintf (fun s -> Fuzz.Fail s) fmt
+
+(* Run independent oracle legs, concurrently when a pool with more than one
+   job is supplied. Results come back in listing order either way, so
+   downstream adjudication (first-error-wins, named tuples) is unchanged. *)
+let run_legs pool thunks =
+  match pool with
+  | Some p when Pool.jobs p > 1 -> Pool.map_list p (fun f -> f ()) thunks
+  | _ -> List.map (fun f -> f ()) thunks
 
 (* ------------------------------------------------------------------ *)
 (* LP: revised (with and without presolve) vs dense tableau            *)
@@ -89,11 +98,28 @@ let budget_outcome = function
   | Model.Iteration_limit | Model.Deadline_exceeded -> true
   | _ -> false
 
-let lp_test (t : Gen.lp) =
-  let m, xs = Gen.lp_model t in
-  let o_rev = Model.solve ~backend:`Revised m in
-  let o_raw = Model.solve ~backend:`Revised ~presolve:false m in
-  let o_dense = Model.solve ~backend:`Dense_tableau m in
+let lp_test ?pool (t : Gen.lp) =
+  (* Variable handles are structural — identical across models built from the
+     same instance (the warm leg below has always relied on this) — but
+     [Model.solve] caches stats on the model, so each leg, concurrent or not,
+     solves its own freshly built copy. *)
+  let _, xs = Gen.lp_model t in
+  let solve_fresh backend ~presolve () =
+    let m, _ = Gen.lp_model t in
+    Model.solve ~backend ~presolve m
+  in
+  let o_rev, o_raw, o_dense =
+    match
+      run_legs pool
+        [
+          solve_fresh `Revised ~presolve:true;
+          solve_fresh `Revised ~presolve:false;
+          solve_fresh `Dense_tableau ~presolve:true;
+        ]
+    with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> assert false
+  in
   if budget_outcome o_rev || budget_outcome o_raw || budget_outcome o_dense then
     Fuzz.Skip "budget outcome"
   else begin
@@ -167,10 +193,19 @@ let lp_test (t : Gen.lp) =
                 let t' = relax_lp t in
                 let m1, xs1 = Gen.lp_model t' in
                 let m2, _ = Gen.lp_model t' in
-                let w1 =
-                  Model.solve ~backend:`Revised ~presolve:false ~warm_start:basis m1
+                let w1, w2 =
+                  match
+                    run_legs pool
+                      [
+                        (fun () ->
+                          Model.solve ~backend:`Revised ~presolve:false
+                            ~warm_start:basis m1);
+                        (fun () -> Model.solve ~backend:`Dense_tableau m2);
+                      ]
+                  with
+                  | [ a; b ] -> (a, b)
+                  | _ -> assert false
                 in
-                let w2 = Model.solve ~backend:`Dense_tableau m2 in
                 if budget_outcome w1 || budget_outcome w2 then Fuzz.Pass
                 else
                   match (w1, w2) with
@@ -264,19 +299,19 @@ let lu_residuals ~tol m dense lu =
   | Some msg -> Some msg
   | None -> check "btran" (Sparse_lu.btran lu) btx
 
-(* The LU oracle owns one growable workspace across all its instances,
-   exercising the scratch reset/reuse path the way a long-lived simplex
-   state does. *)
+(* The LU oracle owns one growable workspace per domain across all its
+   instances, exercising the scratch reset/reuse path the way a long-lived
+   simplex state does. Domain-local storage (rather than a plain ref) keeps
+   the workspace private when the campaign shards instances across a pool;
+   the workspace only affects allocation, never results. *)
 let make_lu_test () =
-  let ws_size = ref 4 in
-  let ws = ref (Sparse_lu.workspace !ws_size) in
+  let key = Domain.DLS.new_key (fun () -> ref (4, Sparse_lu.workspace 4)) in
   fun (t : Gen.lu) ->
     let m = t.Gen.lu_m in
-    if m > !ws_size then begin
-      ws_size := m;
-      ws := Sparse_lu.workspace m
-    end;
-    (match Sparse_lu.factorise ~ws:!ws ~m ~complete:t.Gen.complete t.Gen.cols with
+    let cell = Domain.DLS.get key in
+    (if m > fst !cell then cell := (m, Sparse_lu.workspace m));
+    let ws = snd !cell in
+    (match Sparse_lu.factorise ~ws ~m ~complete:t.Gen.complete t.Gen.cols with
      | None ->
        if t.Gen.must_factor then
          failf "rejected-nonsingular: factorise returned None on a diagonally dominant basis (m=%d)"
@@ -341,7 +376,7 @@ let make_lu_test () =
 
 let enumeration_cap = 20_000
 
-let ffc_test (t : Gen.te) =
+let ffc_test ?pool (t : Gen.te) =
   let input = Gen.te_input t in
   if input.Te_types.flows = [] then Fuzz.Skip "no flows"
   else begin
@@ -367,7 +402,15 @@ let ffc_test (t : Gen.te) =
         in
         Ffc.solve_checked ~config ~prev input
       in
-      match (solve `Sorting_network, solve `Duality) with
+      let r_sort, r_dual =
+        match
+          run_legs pool
+            [ (fun () -> solve `Sorting_network); (fun () -> solve `Duality) ]
+        with
+        | [ a; b ] -> (a, b)
+        | _ -> assert false
+      in
+      match (r_sort, r_dual) with
       | Error f, _ | _, Error f ->
         (* Zero allocation is always feasible and bf <= demand bounds the
            objective, so any failure here is a solver bug. *)
@@ -408,12 +451,18 @@ let ffc_test (t : Gen.te) =
                        ~protection));
               ]
             in
+            (* Parallel legs evaluate every active enumeration and then take
+               the first error in listing order — the same answer the lazy
+               sequential scan produces, since each leg is deterministic. *)
+            let run_check (active, run) =
+              if active then (match run () with Ok () -> None | Error e -> Some e)
+              else None
+            in
             let bad =
-              List.find_map
-                (fun (active, run) ->
-                  if active then (match run () with Ok () -> None | Error e -> Some e)
-                  else None)
-                checks
+              match pool with
+              | Some p when Pool.jobs p > 1 ->
+                List.find_map Fun.id (Pool.map_list p run_check checks)
+              | _ -> List.find_map run_check checks
             in
             (match bad with
              | Some e -> failf "guarantee: %s" e
@@ -524,14 +573,14 @@ let sim_test (s : Gen.sim) =
 
 (* ------------------------------------------------------------------ *)
 
-let all () =
+let all ?pool () =
   [
-    Fuzz.oracle ~name:"lp" ~generate:Gen.lp_instance ~test:lp_test ~shrink:Gen.shrink_lp
-      ~repro:Gen.lp_snippet;
+    Fuzz.oracle ~name:"lp" ~generate:Gen.lp_instance ~test:(lp_test ?pool)
+      ~shrink:Gen.shrink_lp ~repro:Gen.lp_snippet;
     Fuzz.oracle ~name:"lu" ~generate:Gen.lu_instance ~test:(make_lu_test ())
       ~shrink:Gen.shrink_lu ~repro:Gen.lu_snippet;
-    Fuzz.oracle ~name:"ffc" ~generate:Gen.te_instance ~test:ffc_test ~shrink:Gen.shrink_te
-      ~repro:Gen.te_snippet;
+    Fuzz.oracle ~name:"ffc" ~generate:Gen.te_instance ~test:(ffc_test ?pool)
+      ~shrink:Gen.shrink_te ~repro:Gen.te_snippet;
     Fuzz.oracle ~name:"sim" ~generate:Gen.sim_instance ~test:sim_test ~shrink:Gen.shrink_sim
       ~repro:Gen.sim_snippet;
   ]
@@ -539,10 +588,10 @@ let all () =
 (* The chaos oracle is selectable but not part of the default campaign: one
    instance costs a multi-interval simulation, and the fuzz time budget is
    shared across oracles, so it would starve the cheap ones. *)
-let available () = all () @ [ Chaos.oracle () ]
+let available ?pool () = all ?pool () @ [ Chaos.oracle () ]
 
-let select names =
-  let avail = available () in
+let select ?pool names =
+  let avail = available ?pool () in
   let unknown =
     List.filter (fun n -> not (List.exists (fun o -> Fuzz.oracle_name o = n) avail)) names
   in

@@ -1,6 +1,7 @@
 open Ffc_lp
 module Rng = Ffc_util.Rng
 module Clock = Ffc_util.Clock
+module Pool = Ffc_util.Pool
 
 type mode = Basic | Ffc_ladder of (int -> Ffc.config)
 
@@ -54,6 +55,8 @@ type step = {
   effective : (int -> Te_types.protection) option;
   per_class_stats : (int * Ffc.stats) list;
   audit : audit_report option;
+  rungs_raced : int;
+  speculative_wasted_ms : float;
 }
 
 type t = {
@@ -339,13 +342,18 @@ let audit_step t (input : Te_types.input) ~prev ~alloc ~kind ~protections =
 (* The step driver                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* [Accepted] carries a deferred basis-cache commit instead of mutating the
+   controller inside the solve: when rungs are raced speculatively, every
+   rung reads the (frozen) cache but only the winning rung's commit runs —
+   on the caller's domain, after the race settles — so raced and sequential
+   steps leave identical controller state. *)
 type attempt_result =
-  | Accepted of Te_types.allocation * (int * Ffc.stats) list
+  | Accepted of Te_types.allocation * (int * Ffc.stats) list * (unit -> unit)
   | Failed of Te_types.solve_failure
 
 let try_rung t (input : Te_types.input) ~prev ~rung ~boost ~use_bases kind =
   match kind with
-  | Last_good -> Accepted (rescale_last_good input prev, [])
+  | Last_good -> Accepted (rescale_last_good input prev, [], fun () -> ())
   | Basic_te -> (
     match
       Basic_te.solve_checked ~presolve:t.cfg.presolve
@@ -353,8 +361,7 @@ let try_rung t (input : Te_types.input) ~prev ~rung ~boost ~use_bases kind =
         ?warm_start:(get_basis t ~rung ~cls:(-1)) input
     with
     | Ok (alloc, basis) ->
-      set_basis t ~rung ~cls:(-1) basis;
-      Accepted (alloc, [])
+      Accepted (alloc, [], fun () -> set_basis t ~rung ~cls:(-1) basis)
     | Error f -> Failed f)
   | Full_protection | Reduced _ -> (
     let config_of =
@@ -383,12 +390,17 @@ let try_rung t (input : Te_types.input) ~prev ~rung ~boost ~use_bases kind =
         ?deadline_ms:t.cfg.deadline_ms ~warm_starts input
     with
     | Ok (alloc, per_class) ->
-      if use_bases then
-        List.iter (fun (prio, _, basis) -> set_basis t ~rung ~cls:prio basis) per_class;
-      Accepted (alloc, List.map (fun (prio, st, _) -> (prio, st)) per_class)
+      let commit () =
+        if use_bases then
+          List.iter
+            (fun (prio, _, basis) -> set_basis t ~rung ~cls:prio basis)
+            per_class
+      in
+      Accepted (alloc, List.map (fun (prio, st, _) -> (prio, st)) per_class, commit)
     | Error (_prio, f) -> Failed f)
 
-let step t ?(stale = 0) ?audit_input (input : Te_types.input) ~(prev : Te_types.allocation) =
+let step t ?pool ?(stale = 0) ?audit_input (input : Te_types.input)
+    ~(prev : Te_types.allocation) =
   let rungs = ladder t input in
   (* The step escalates when the reported stale-ingress count exceeds what
      the weakest kc-protected class is configured to tolerate. *)
@@ -412,63 +424,120 @@ let step t ?(stale = 0) ?audit_input (input : Te_types.input) ~(prev : Te_types.
       escalate_protection ~stale ~max_kc
     else fun p -> p
   in
-  let attempts = ref [] in
-  let deadline_hits = ref 0 in
-  let rec descend rung = function
-    | [] -> invalid_arg "Controller.step: ladder exhausted (missing last-good rung)"
-    | kind :: rest -> (
-      let protections = protections_at t input ~boost kind in
-      let t0 = Clock.now_ms () in
-      let result = try_rung t input ~prev ~rung ~boost ~use_bases:(not escalated) kind in
-      let solve_ms = Clock.since_ms t0 in
-      let outcome =
-        match result with Accepted _ -> Ok () | Failed f -> Error f
-      in
-      attempts :=
-        { rung; kind; protections; outcome; solve_ms; budget_ms = t.cfg.deadline_ms }
-        :: !attempts;
-      match result with
-      | Failed f ->
-        if f.Te_types.kind = `Deadline then incr deadline_hits;
-        descend (rung + 1) rest
-      | Accepted (alloc, per_class_stats) ->
-        let stale = kind = Last_good in
-        let effective =
-          match protections with
-          | [] -> None
-          | l -> Some (fun prio -> try List.assoc prio l with Not_found -> Te_types.no_protection)
-        in
-        (* The sampled auditor checks the accepted allocation against the
-           auditing view — ground truth when the controller planned on an
-           estimated one. The Enumerate case checkers charge planned
-           allocations against real capacities, so an estimation error in
-           the demands cannot silently weaken what is verified here. *)
-        let audit =
-          audit_step t (Option.value audit_input ~default:input) ~prev ~alloc ~kind
-            ~protections
-        in
-        let attempts = List.rev !attempts in
-        let fallbacks = List.length attempts - 1 in
-        t.steps <- t.steps + 1;
-        t.total_fallbacks <- t.total_fallbacks + fallbacks;
-        t.total_deadline_hits <- t.total_deadline_hits + !deadline_hits;
-        if rung > t.deepest_rung then t.deepest_rung <- rung;
-        {
-          alloc;
-          rung;
-          kind;
-          label = rung_label kind;
-          attempts;
-          fallbacks;
-          deadline_hits = !deadline_hits;
-          stale;
-          escalated;
-          effective;
-          per_class_stats;
-          audit;
-        })
+  (* One rung evaluation: read-only against the controller (the basis cache
+     is only read; commits are deferred closures), so evaluations can run
+     concurrently. *)
+  let eval rung kind =
+    let protections = protections_at t input ~boost kind in
+    let t0 = Clock.now_ms () in
+    let result = try_rung t input ~prev ~rung ~boost ~use_bases:(not escalated) kind in
+    let solve_ms = Clock.since_ms t0 in
+    let outcome = match result with Accepted _ -> Ok () | Failed f -> Error f in
+    ( { rung; kind; protections; outcome; solve_ms; budget_ms = t.cfg.deadline_ms },
+      result )
   in
-  descend 0 rungs
+  (* Shared tail: telemetry counters, sampled audit and the step record,
+     identical for the sequential descent and the speculative race. The
+     [attempts] list is in rung order and ends at the accepted rung. *)
+  let finish ~attempts ~rung ~kind ~alloc ~per_class_stats ~commit ~rungs_raced
+      ~speculative_wasted_ms =
+    commit ();
+    let protections =
+      match List.rev attempts with a :: _ -> a.protections | [] -> []
+    in
+    let deadline_hits =
+      List.fold_left
+        (fun n (a : attempt) ->
+          match a.outcome with
+          | Error f when f.Te_types.kind = `Deadline -> n + 1
+          | _ -> n)
+        0 attempts
+    in
+    let stale = kind = Last_good in
+    let effective =
+      match protections with
+      | [] -> None
+      | l ->
+        Some
+          (fun prio -> try List.assoc prio l with Not_found -> Te_types.no_protection)
+    in
+    (* The sampled auditor checks the accepted allocation against the
+       auditing view — ground truth when the controller planned on an
+       estimated one. The Enumerate case checkers charge planned
+       allocations against real capacities, so an estimation error in
+       the demands cannot silently weaken what is verified here. *)
+    let audit =
+      audit_step t (Option.value audit_input ~default:input) ~prev ~alloc ~kind
+        ~protections
+    in
+    let fallbacks = List.length attempts - 1 in
+    t.steps <- t.steps + 1;
+    t.total_fallbacks <- t.total_fallbacks + fallbacks;
+    t.total_deadline_hits <- t.total_deadline_hits + deadline_hits;
+    if rung > t.deepest_rung then t.deepest_rung <- rung;
+    {
+      alloc;
+      rung;
+      kind;
+      label = rung_label kind;
+      attempts;
+      fallbacks;
+      deadline_hits;
+      stale;
+      escalated;
+      effective;
+      per_class_stats;
+      audit;
+      rungs_raced;
+      speculative_wasted_ms;
+    }
+  in
+  let sequential () =
+    let attempts = ref [] in
+    let rec descend rung = function
+      | [] -> invalid_arg "Controller.step: ladder exhausted (missing last-good rung)"
+      | kind :: rest -> (
+        let attempt, result = eval rung kind in
+        attempts := attempt :: !attempts;
+        match result with
+        | Failed _ -> descend (rung + 1) rest
+        | Accepted (alloc, per_class_stats, commit) ->
+          finish ~attempts:(List.rev !attempts) ~rung ~kind ~alloc ~per_class_stats
+            ~commit ~rungs_raced:0 ~speculative_wasted_ms:0.)
+    in
+    descend 0 rungs
+  in
+  (* Speculative race: evaluate every rung concurrently and accept the
+     highest-priority (lowest-index) success — the same rung the sequential
+     descent would have reached, fed the same frozen basis cache, so the
+     accepted allocation is identical. Only the winner's attempt prefix
+     enters the step record (the sequential descent never saw the rest);
+     the off-path work is accounted as [speculative_wasted_ms]. The ladder
+     ends in last-good, which always accepts, so a winner exists. *)
+  let raced pool =
+    let arr = Array.of_list (List.mapi (fun i k -> (i, k)) rungs) in
+    let results = Pool.map pool (fun (i, k) -> eval i k) arr in
+    let rec winner i =
+      if i >= Array.length results then
+        invalid_arg "Controller.step: ladder exhausted (missing last-good rung)"
+      else
+        match results.(i) with
+        | _, Accepted (alloc, per_class_stats, commit) -> (i, alloc, per_class_stats, commit)
+        | _, Failed _ -> winner (i + 1)
+    in
+    let rung, alloc, per_class_stats, commit = winner 0 in
+    let attempts = List.init (rung + 1) (fun i -> fst results.(i)) in
+    let speculative_wasted_ms = ref 0. in
+    for i = rung + 1 to Array.length results - 1 do
+      speculative_wasted_ms := !speculative_wasted_ms +. (fst results.(i)).solve_ms
+    done;
+    finish ~attempts ~rung ~kind:(List.nth rungs rung) ~alloc ~per_class_stats
+      ~commit ~rungs_raced:(Array.length results)
+      ~speculative_wasted_ms:!speculative_wasted_ms
+  in
+  match pool with
+  | Some p when Pool.jobs p > 1 && List.length rungs > 1 -> raced p
+  | _ -> sequential ()
 
 (* Protection edge actually guaranteed by this step (minimum ke/kv across
    classes): the reaction rule must use the degraded level, not the

@@ -5,7 +5,11 @@
 module Pq = Set.Make (struct
   type t = float * int
 
-  let compare = compare
+  (* Monomorphic lexicographic order: Float.compare is NaN-total (the
+     polymorphic compare it replaces boxes the float and is not), and
+     Int.compare breaks distance ties by switch id deterministically. *)
+  let compare (d1, v1) (d2, v2) =
+    match Float.compare d1 d2 with 0 -> Int.compare v1 v2 | c -> c
 end)
 
 let default_metric (_ : Topology.link) = 1.
@@ -34,7 +38,10 @@ let shortest ?(metric = default_metric) ?(banned_links = fun _ -> false)
               && not finished.(v)
             then begin
               let w = metric l in
-              if w < 0. then invalid_arg "Paths: negative metric";
+              (* NaN would slip past a plain [w < 0.] check and poison the
+                 distance array; infinities would starve the queue. *)
+              if not (Float.is_finite w) || w < 0. then
+                invalid_arg "Paths: metric must be finite and non-negative";
               let nd = d +. w in
               if nd < dist.(v) -. 1e-12 then begin
                 dist.(v) <- nd;

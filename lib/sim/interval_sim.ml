@@ -45,11 +45,12 @@ type config = {
   outage : outage_model option;
   telemetry : Telemetry.config option;
   estimator : Estimator.config option;
+  pool : Ffc_util.Pool.t option;
 }
 
 let default_config ?deadline_ms ?max_iterations ?(audit_budget = 8)
-    ?(retry = Southbound.default_retry) ?outage ?telemetry ?estimator ~mode ~update_model
-    fault_model =
+    ?(retry = Southbound.default_retry) ?outage ?telemetry ?estimator ?pool ~mode
+    ~update_model fault_model =
   {
     mode;
     interval_s = 300.;
@@ -66,6 +67,7 @@ let default_config ?deadline_ms ?max_iterations ?(audit_budget = 8)
     outage;
     telemetry;
     estimator;
+    pool;
   }
 
 type class_stats = {
@@ -741,7 +743,7 @@ let run ~rng cfg (input : Te_types.input) ~demand_series =
              sampled guarantee auditor is pointed at ground truth, so audit
              verdicts stay statements about the real network. *)
           let step =
-            Controller.step !ctrl ~stale:stale_before
+            Controller.step !ctrl ?pool:cfg.pool ~stale:stale_before
               ?audit_input:(if sensing then Some input_t else None)
               input_est ~prev:mixed_prev
           in

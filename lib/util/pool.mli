@@ -1,0 +1,49 @@
+(** Fixed-size domain pool with deterministic, order-preserving fan-out.
+
+    A pool of size [jobs] evaluates at most [jobs] tasks concurrently:
+    [jobs - 1] persistent worker domains plus the calling domain, which
+    participates in every {!map} instead of blocking. The contract of
+    {!map} is {e exactly} [Array.map]'s: results are returned at their
+    input index, and if any task raises, the exception of the {e lowest}
+    failing index is re-raised (with its backtrace) after the whole batch
+    settles — so output, including failure behaviour, is independent of
+    scheduling. This is what makes split-stream-seeded campaigns (fuzz,
+    chaos, bench arms) bit-identical at any [-j].
+
+    Nested use is supported by degradation: a [map] issued from inside a
+    pool task runs sequentially inline (no deadlock, same results). A pool
+    of size 1 never spawns a domain and runs everything inline. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains ([jobs >= 1], else
+    [Invalid_argument]). [jobs = 1] is the degenerate sequential pool. *)
+
+val jobs : t -> int
+(** The parallelism degree the pool was created with. *)
+
+val recommended_jobs : unit -> int
+(** {!Domain.recommended_domain_count} — what [-j] defaults should not
+    exceed. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel [Array.map]. Tasks are claimed dynamically
+    but results land at their input index; on task exceptions, the lowest
+    failing index's exception is re-raised after all tasks settle.
+    Raises [Invalid_argument] on a {!shutdown} pool. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over a list. *)
+
+val map_reduce :
+  t -> f:('a -> 'b) -> reduce:('acc -> 'b -> 'acc) -> init:'acc -> 'a array -> 'acc
+(** Parallel map, then a {e sequential} left fold in index order — the
+    reduction order is deterministic even for non-commutative [reduce]. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent; outstanding batches are
+    drained first, and subsequent {!map} calls raise [Invalid_argument]. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, then {!shutdown} (also on exception). *)

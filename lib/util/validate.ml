@@ -1,0 +1,35 @@
+(* Range-validated value parsers for CLI options. Kept cmdliner-free so the
+   test suite can exercise the rejection paths directly; bin/ffc_cli.ml
+   wraps them into Arg.conv converters. *)
+
+let float_of s =
+  match float_of_string_opt s with
+  | Some v when Float.is_finite v -> Ok v
+  | Some _ -> Error (Printf.sprintf "%S is not finite" s)
+  | None -> Error (Printf.sprintf "%S is not a number" s)
+
+let int_of s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%S is not an integer" s)
+
+let probability s =
+  Result.bind (float_of s) (fun v ->
+      if v >= 0. && v <= 1. then Ok v
+      else Error (Printf.sprintf "%g is not a probability (expected 0 <= p <= 1)" v))
+
+let nonneg_float ~what s =
+  Result.bind (float_of s) (fun v ->
+      if v >= 0. then Ok v else Error (Printf.sprintf "%s must be >= 0, got %g" what v))
+
+let pos_float ~what s =
+  Result.bind (float_of s) (fun v ->
+      if v > 0. then Ok v else Error (Printf.sprintf "%s must be > 0, got %g" what v))
+
+let nonneg_int ~what s =
+  Result.bind (int_of s) (fun v ->
+      if v >= 0 then Ok v else Error (Printf.sprintf "%s must be >= 0, got %d" what v))
+
+let pos_int ~what s =
+  Result.bind (int_of s) (fun v ->
+      if v >= 1 then Ok v else Error (Printf.sprintf "%s must be >= 1, got %d" what v))

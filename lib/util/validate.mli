@@ -1,0 +1,23 @@
+(** Range-validated CLI value parsers.
+
+    Each parser returns [Error] with a one-line human-readable message on
+    an out-of-range or unparsable value, so command-line options like
+    [--telemetry-loss 1.5] or [--jobs -2] are rejected at parse time
+    instead of misbehaving downstream. Deliberately free of any CLI
+    library dependency: [bin/ffc_cli.ml] wraps these into cmdliner
+    converters and the test suite drives the rejection paths directly. *)
+
+val probability : string -> (float, string) result
+(** A finite float in [\[0, 1\]]. *)
+
+val nonneg_float : what:string -> string -> (float, string) result
+(** A finite float [>= 0]; [what] names the option in the error message. *)
+
+val pos_float : what:string -> string -> (float, string) result
+(** A finite float [> 0]. *)
+
+val nonneg_int : what:string -> string -> (int, string) result
+(** An integer [>= 0]. *)
+
+val pos_int : what:string -> string -> (int, string) result
+(** An integer [>= 1]. *)

@@ -408,6 +408,51 @@ let test_hunt_clean_within_protection () =
   Alcotest.(check bool) "budget respected" true (r.Chaos.h_evaluated <= 6);
   Alcotest.(check bool) "no violation within protection" true (r.Chaos.h_finding = None)
 
+(* Regression for the crash-swallowing bug: the old hunter evaluated each
+   plan as [try score (run_plan p) with _ -> 0.], so a simulator exception
+   scored worst-possible and vanished. A raise forced through the test hook
+   must now surface as a shrunk ["crash:"] finding with a runnable repro. *)
+let test_hunt_surfaces_simulator_crashes () =
+  Chaos.run_plan_hook :=
+    (fun (p : Chaos.plan) ->
+      if p.Chaos.p_sites >= 4 then failwith "injected simulator fault");
+  Fun.protect
+    ~finally:(fun () -> Chaos.run_plan_hook := fun _ -> ())
+    (fun () ->
+      let r = Chaos.hunt ~seed:5 ~budget:12 ~sites:5 ~intervals:4 ~kc:1 ~ke:1 ~kv:0 () in
+      match r.Chaos.h_finding with
+      | None -> Alcotest.fail "injected crash was swallowed"
+      | Some f ->
+        Alcotest.(check string) "crash category" "crash"
+          (Ffc_check.Fuzz.category f.Chaos.c_message);
+        Alcotest.(check string) "shrunk message keeps the category" "crash"
+          (Ffc_check.Fuzz.category f.Chaos.c_min_message);
+        (* The shrinker ran: the minimal plan is at the smallest site count
+           that still triggers the hook. *)
+        Alcotest.(check int) "shrunk to the crash threshold" 4
+          f.Chaos.c_min_plan.Chaos.p_sites;
+        Alcotest.(check bool) "repro is printable" true
+          (String.length f.Chaos.c_repro > 0))
+
+(* Restart climbers run one per domain with pre-split RNG streams; the
+   parallel hunt must agree with the sequential one exactly — same
+   evaluation count, same best score, same (absent or identical) finding. *)
+let test_hunt_parallel_identity () =
+  let key (r : Chaos.hunt_report) =
+    ( r.Chaos.h_evaluated,
+      r.Chaos.h_best_score,
+      Option.map
+        (fun (f : Chaos.finding) -> (f.Chaos.c_message, f.Chaos.c_min_message, f.Chaos.c_repro))
+        r.Chaos.h_finding )
+  in
+  let run ?pool () =
+    Chaos.hunt ?pool ~seed:5 ~budget:16 ~sites:4 ~intervals:3 ~kc:1 ~ke:1 ~kv:0 ()
+  in
+  let seq = key (run ()) in
+  Ffc_util.Pool.with_pool ~jobs:3 (fun p ->
+      Alcotest.(check bool) "parallel hunt matches sequential" true
+        (key (run ~pool:p ()) = seq))
+
 let () =
   let case name f = Alcotest.test_case name `Quick f in
   Alcotest.run "chaos"
@@ -449,5 +494,8 @@ let () =
         [
           case "shrinking keeps plans valid; repro is printable" test_plan_shrink_and_repro;
           case "small hunt finds no violation" test_hunt_clean_within_protection;
+          case "simulator crashes surface as shrunk findings"
+            test_hunt_surfaces_simulator_crashes;
+          case "parallel hunt bit-identical to sequential" test_hunt_parallel_identity;
         ] );
     ]

@@ -7,6 +7,7 @@ module Fuzz = Ffc_check.Fuzz
 module Gen = Ffc_check.Gen
 module Oracles = Ffc_check.Oracles
 module Rng = Ffc_util.Rng
+module Pool = Ffc_util.Pool
 
 (* A synthetic oracle over int lists: fails whenever the list contains an
    element >= 10. The minimal failing instance for the shrinker to find is
@@ -168,6 +169,37 @@ let test_real_oracles_clean_smoke () =
           f.Fuzz.repro)
     r.Fuzz.oracles
 
+(* The sharded campaign is bit-identical to the sequential one: same
+   instance streams (pre-split RNGs), same findings (index-order replay
+   with the same early-exit point), same shrunk repros. The synthetic
+   oracle produces findings, so this exercises the cap logic too. *)
+let test_parallel_identity_synthetic () =
+  let report r =
+    ( counts r,
+      List.map
+        (fun (f : Fuzz.finding) ->
+          (f.Fuzz.f_index, f.Fuzz.message, f.Fuzz.min_message, f.Fuzz.repro))
+        (Fuzz.failures r) )
+  in
+  let seq = report (Fuzz.run ~seed:7 ~count:60 ~oracles:[ synthetic_oracle ] ()) in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun p ->
+          let par =
+            report (Fuzz.run ~pool:p ~seed:7 ~count:60 ~oracles:[ synthetic_oracle ] ())
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d matches sequential" jobs)
+            true (par = seq)))
+    [ 2; 3; 4 ]
+
+let test_parallel_identity_real_oracles () =
+  let seq = Fuzz.run ~seed:42 ~count:40 ~oracles:(Oracles.all ()) () in
+  Pool.with_pool ~jobs:4 (fun p ->
+      let par = Fuzz.run ~pool:p ~seed:42 ~count:40 ~oracles:(Oracles.all ~pool:p ()) () in
+      Alcotest.(check bool) "full campaign identical" true
+        (seq.Fuzz.oracles = par.Fuzz.oracles))
+
 let test_oracle_selection () =
   (match Oracles.select [ "lp"; "sim" ] with
   | Ok os ->
@@ -198,5 +230,10 @@ let () =
         [
           case "seeded smoke is clean" test_real_oracles_clean_smoke;
           case "selection by name" test_oracle_selection;
+        ] );
+      ( "parallel",
+        [
+          case "sharded run bit-identical (synthetic)" test_parallel_identity_synthetic;
+          case "sharded run bit-identical (real oracles)" test_parallel_identity_real_oracles;
         ] );
     ]

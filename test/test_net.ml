@@ -194,6 +194,26 @@ let test_shortest_banned_switch () =
   | None -> ()
   | Some _ -> Alcotest.fail "banned destination must yield None"
 
+let test_metric_rejects_non_finite () =
+  (* Dijkstra's ordering is meaningless under NaN (polymorphic compare used
+     to sort NaN distances arbitrarily); non-finite or negative metrics must
+     be rejected loudly instead. *)
+  let t = diamond () in
+  let reject name metric =
+    Alcotest.check_raises name
+      (Invalid_argument "Paths: metric must be finite and non-negative") (fun () ->
+        ignore (Paths.shortest ~metric t 0 3))
+  in
+  reject "nan metric" (fun _ -> nan);
+  reject "infinite metric" (fun _ -> infinity);
+  reject "negative metric" (fun _ -> -1.);
+  (* A finite custom metric still works and can re-rank paths. *)
+  let direct = Option.get (Topology.find_link t 0 3) in
+  let heavy (l : Topology.link) = if l.Topology.id = direct.Topology.id then 100. else 1. in
+  match Paths.shortest ~metric:heavy t 0 3 with
+  | Some p -> Alcotest.(check int) "heavy direct link avoided" 2 (List.length p)
+  | None -> Alcotest.fail "path should exist"
+
 let test_k_shortest () =
   let t = diamond () in
   let ps = Paths.k_shortest t 0 3 ~k:5 in
@@ -359,6 +379,7 @@ let () =
           case "shortest" test_shortest;
           case "shortest with banned link" test_shortest_banned;
           case "shortest with banned switch" test_shortest_banned_switch;
+          case "non-finite metrics rejected" test_metric_rejects_non_finite;
           case "k-shortest" test_k_shortest;
           case "pq-disjoint" test_pq_disjoint;
           QCheck_alcotest.to_alcotest prop_pq_disjoint_respects_budgets;

@@ -275,6 +275,61 @@ let test_calibrate_reports_failure () =
   Alcotest.(check bool) "failure visible in achieved ratio" true (achieved' < 0.99)
 
 (* ------------------------------------------------------------------ *)
+(* Speculative ladder racing                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A raced step must be observably identical to a sequential one — same
+   accepted rung, allocation, attempt outcomes, audit stream — everywhere
+   except the wall-clock fields and the new racing telemetry. *)
+let timeless (st : Ffc.stats) =
+  ( st.Ffc.lp_vars,
+    st.Ffc.lp_rows,
+    Option.map
+      (fun (ss : Ffc_lp.Problem.solver_stats) -> { ss with Ffc_lp.Problem.ftran_ms = 0. })
+      st.Ffc.solver )
+
+let step_key (s : Controller.step) =
+  ( ( s.Controller.alloc,
+      s.Controller.rung,
+      s.Controller.kind,
+      s.Controller.label,
+      s.Controller.fallbacks ),
+    ( s.Controller.stale,
+      s.Controller.escalated,
+      Option.map (fun f -> f 0) s.Controller.effective,
+      List.map (fun (cls, st) -> (cls, timeless st)) s.Controller.per_class_stats,
+      s.Controller.audit ),
+    List.map
+      (fun (a : Controller.attempt) ->
+        (a.Controller.rung, a.Controller.kind, a.Controller.protections, a.Controller.outcome))
+      s.Controller.attempts )
+
+let test_raced_step_identity () =
+  let input = small_input () in
+  let prev = basic_prev input in
+  Ffc_util.Pool.with_pool ~jobs:3 (fun pool ->
+      (* Accepting run: rung 0 wins, so the race discards nothing visible.
+         Two consecutive steps also exercise the winner-only warm-basis
+         commit (step 2 reuses step 1's basis in both arms). *)
+      let seq_c = controller (prot ~kc:1 ~ke:1 ()) in
+      let par_c = controller (prot ~kc:1 ~ke:1 ()) in
+      let s1 = Controller.step seq_c input ~prev in
+      let p1 = Controller.step par_c ~pool input ~prev in
+      Alcotest.(check bool) "accepting step identical" true (step_key s1 = step_key p1);
+      Alcotest.(check int) "sequential step does not race" 0 s1.Controller.rungs_raced;
+      let s2 = Controller.step seq_c input ~prev:s1.Controller.alloc in
+      let p2 = Controller.step par_c ~pool input ~prev:p1.Controller.alloc in
+      Alcotest.(check bool) "warm second step identical" true (step_key s2 = step_key p2);
+      (* Collapsing run: pivot budget 0 kills every LP rung, both arms must
+         walk the whole ladder to the same deterministic last-good. *)
+      let seq_f = controller ~max_iterations:0 (prot ~kc:1 ~ke:1 ()) in
+      let par_f = controller ~max_iterations:0 (prot ~kc:1 ~ke:1 ()) in
+      let sf = Controller.step seq_f input ~prev in
+      let pf = Controller.step par_f ~pool input ~prev in
+      Alcotest.(check bool) "collapsed step identical" true (step_key sf = step_key pf);
+      Alcotest.(check string) "both land on last-good" "last-good" pf.Controller.label;
+      Alcotest.(check bool) "race telemetry populated" true
+        (pf.Controller.rungs_raced > 1 && pf.Controller.speculative_wasted_ms >= 0.))
 
 let () =
   let case name f = Alcotest.test_case name `Quick f in
@@ -293,6 +348,8 @@ let () =
           case "generous budget reaches oracle optimum" test_deadline_generous_matches_oracle;
         ] );
       ( "auditor", [ case "valid passes, corrupt flagged" test_auditor_accepts_valid_flags_corrupt ] );
+      ( "racing",
+        [ case "raced step identical to sequential descent" test_raced_step_identity ] );
       ( "faults", [ case "switch-down dedupes link faults" test_fault_dedup ] );
       ( "calibration", [ case "failure reported" test_calibrate_reports_failure ] );
     ]
