@@ -11,11 +11,32 @@ module Rng = Ffc_util.Rng
 module Table = Ffc_util.Table
 module Pool = Ffc_util.Pool
 module Validate = Ffc_util.Validate
+module Obs = Ffc_obs.Obs
 
 (* [jobs = 1] means no pool at all: the sequential code paths run exactly as
    they always have, rather than through a degenerate one-domain pool. *)
 let with_jobs jobs f =
   if jobs <= 1 then f None else Pool.with_pool ~jobs (fun p -> f (Some p))
+
+(* [--metrics-out]/[--trace-out]: the registry is switched on before the
+   command does any work, and the export files are written at a known point
+   once the work is done — explicitly, not via an unwind handler, because
+   fuzz/chaos exit 1 on findings and must still leave their artifacts. *)
+let obs_setup ~metrics_out ~trace_out =
+  if metrics_out <> None || trace_out <> None then
+    Obs.enable ~tracing:(trace_out <> None) ()
+
+let obs_dump ~metrics_out ~trace_out =
+  Option.iter
+    (fun p ->
+      Obs.write_metrics p;
+      Printf.printf "metrics written to %s\n" p)
+    metrics_out;
+  Option.iter
+    (fun p ->
+      Obs.write_trace p;
+      Printf.printf "trace written to %s\n" p)
+    trace_out
 
 let scenario_of_name ?sites name seed =
   let rng = Rng.create seed in
@@ -104,7 +125,8 @@ let solve_cmd network seed scale kc ke kv encoding objective =
 
 let simulate_cmd network seed scale mode intervals model kc ke kv deadline_ms audit_budget
     retries retry_timeout retry_backoff telemetry_loss telemetry_delay demand_noise
-    headroom dead_band jobs =
+    headroom dead_band metrics_out trace_out stats_json jobs =
+  obs_setup ~metrics_out ~trace_out;
   with_jobs jobs @@ fun pool ->
   let sc = scenario_of_name network seed in
   let input = sc.Sim.Scenario.input in
@@ -248,7 +270,19 @@ let simulate_cmd network seed scale mode intervals model kc ke kv deadline_ms au
       (sum (fun s ->
            match s.Sim.Interval_sim.gt_data with
            | Sim.Interval_sim.Gt_violation _ -> 1
-           | _ -> 0))
+           | _ -> 0));
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      List.iter
+        (fun s ->
+          output_string oc (Sim.Interval_sim.stats_json_line s);
+          output_char oc '\n')
+        stats;
+      close_out oc;
+      Printf.printf "per-interval stats (JSON lines) written to %s\n" path)
+    stats_json;
+  obs_dump ~metrics_out ~trace_out
 
 (* ------------------------------------------------------------------ *)
 (* plan (capacity planning, §3.3)                                      *)
@@ -323,8 +357,9 @@ let verify_cmd network seed sites scale kc ke kv rescale_aware =
 (* fuzz                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let fuzz_cmd seed count budget_ms oracles repro_out jobs =
+let fuzz_cmd seed count budget_ms oracles repro_out metrics_out trace_out jobs =
   let module Fuzz = Ffc_check.Fuzz in
+  obs_setup ~metrics_out ~trace_out;
   with_jobs jobs @@ fun pool ->
   let oracles =
     match oracles with
@@ -336,6 +371,7 @@ let fuzz_cmd seed count budget_ms oracles repro_out jobs =
   in
   let report = Fuzz.run ?pool ~seed ~count ?time_budget_ms:budget_ms ~oracles () in
   Format.printf "%a@." Fuzz.pp_report report;
+  obs_dump ~metrics_out ~trace_out;
   match Fuzz.failures report with
   | [] -> ()
   | findings ->
@@ -356,8 +392,10 @@ let fuzz_cmd seed count budget_ms oracles repro_out jobs =
 (* chaos                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let chaos_cmd seed budget sites intervals scale realistic kc ke kv repro_out jobs =
+let chaos_cmd seed budget sites intervals scale realistic kc ke kv repro_out metrics_out
+    trace_out jobs =
   let module Chaos = Ffc_check.Chaos in
+  obs_setup ~metrics_out ~trace_out;
   with_jobs jobs @@ fun pool ->
   Printf.printf
     "chaos hunt: kc=%d ke=%d kv=%d, %d-site L-Net, %d intervals, scale %g, %s model, \
@@ -370,6 +408,7 @@ let chaos_cmd seed budget sites intervals scale realistic kc ke kv repro_out job
     Chaos.hunt ?pool ~seed ~budget ~sites ~intervals ~scale ~realistic ~kc ~ke ~kv ()
   in
   Format.printf "%a@." Chaos.pp_report report;
+  obs_dump ~metrics_out ~trace_out;
   match report.Chaos.h_finding with
   | None -> ()
   | Some f ->
@@ -537,11 +576,38 @@ let dead_band =
           "Enable the estimator and skip re-solves when the view moved less than this \
            relative dead-band since the last solve")
 
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ]
+        ~doc:
+          "Enable the metrics registry and write the merged snapshot here on \
+           completion (JSON, plus Prometheus text alongside as FILE.prom; a .prom or \
+           .txt FILE gets the Prometheus text directly)")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ]
+        ~doc:
+          "Enable span tracing and write the retained spans here on completion as \
+           Chrome trace_event JSON (loadable in chrome://tracing / Perfetto)")
+
+let stats_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ]
+        ~doc:"Write per-interval stats to this file as JSON lines (one object per line)")
+
 let simulate_t =
   Term.(
     const simulate_cmd $ network $ seed $ scale $ mode $ intervals $ model $ kc_sim $ ke_sim
     $ kv_sim $ deadline_ms $ audit_budget $ retries $ retry_timeout $ retry_backoff
-    $ telemetry_loss $ telemetry_delay $ demand_noise $ headroom $ dead_band $ jobs)
+    $ telemetry_loss $ telemetry_delay $ demand_noise $ headroom $ dead_band $ metrics_out
+    $ trace_out $ stats_json $ jobs)
 
 let plan_t = Term.(const plan_cmd $ network $ seed $ scale $ kc $ ke $ kv)
 
@@ -579,7 +645,7 @@ let fuzz_repro_out =
 let fuzz_t =
   Term.(
     const fuzz_cmd $ seed $ fuzz_count $ fuzz_budget $ fuzz_oracles $ fuzz_repro_out
-    $ jobs)
+    $ metrics_out $ trace_out $ jobs)
 
 let chaos_budget =
   Arg.(
@@ -627,7 +693,8 @@ let chaos_repro_out =
 let chaos_t =
   Term.(
     const chaos_cmd $ seed $ chaos_budget $ chaos_sites $ chaos_intervals $ chaos_scale
-    $ chaos_realistic $ chaos_kc $ chaos_ke $ chaos_kv $ chaos_repro_out $ jobs)
+    $ chaos_realistic $ chaos_kc $ chaos_ke $ chaos_kv $ chaos_repro_out $ metrics_out
+    $ trace_out $ jobs)
 
 let cmds =
   [

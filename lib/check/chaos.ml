@@ -3,6 +3,15 @@ open Ffc_core
 open Ffc_sim
 module Rng = Ffc_util.Rng
 module Pool = Ffc_util.Pool
+module Obs = Ffc_obs.Obs
+
+(* Hunt totals come from the deterministic prefix combine (identical for
+   sequential and pool runs); per-plan counters would differ because the
+   parallel hunt races ahead of the first finding. *)
+let m_plans = Obs.counter "chaos.plans_evaluated"
+let m_hunt_findings = Obs.counter "chaos.findings"
+let m_hunt_shrink_steps = Obs.counter "chaos.shrink_steps"
+let m_best_score = Obs.gauge "chaos.best_score"
 
 type elem = Fibre of int | Switch of int
 
@@ -478,6 +487,7 @@ let run_restart ~sites ~intervals ~scale ~realistic ~telemetry ~kc ~ke ~kv rng
 
 let hunt ?pool ?(seed = 42) ?(budget = 48) ?(sites = 4) ?(intervals = 6)
     ?(scale = 1.2) ?(realistic = false) ?(telemetry = false) ~kc ~ke ~kv () =
+  Obs.with_span "chaos.hunt" @@ fun () ->
   let master = Rng.create seed in
   let restarts = max 1 ((budget + evals_per_restart - 1) / evals_per_restart) in
   (* Restart r's stream is the r-th split of the master — a pure function of
@@ -538,6 +548,15 @@ let hunt ?pool ?(seed = 42) ?(budget = 48) ?(sites = 4) ?(intervals = 6)
           c_repro = repro min_plan;
         }
   in
+  if Obs.enabled () then begin
+    Obs.add m_plans (float_of_int !evaluated);
+    Obs.set m_best_score !best;
+    match finding with
+    | Some f ->
+      Obs.incr m_hunt_findings;
+      Obs.add m_hunt_shrink_steps (float_of_int f.c_shrink_steps)
+    | None -> ()
+  end;
   { h_evaluated = !evaluated; h_best_score = !best; h_finding = finding }
 
 let pp_report fmt r =

@@ -1,6 +1,18 @@
 module Rng = Ffc_util.Rng
 module Clock = Ffc_util.Clock
 module Pool = Ffc_util.Pool
+module Obs = Ffc_obs.Obs
+
+(* Campaign totals are recorded from the replayed (deterministic) verdict
+   accounting, never from raw worker-side execution counts: the parallel
+   path may over-execute a chunk past the finding cap, so only the replay
+   is bit-identical between j=1 and j=N. *)
+let m_exercised = Obs.counter "fuzz.exercised"
+let m_skipped = Obs.counter "fuzz.skipped"
+let m_findings = Obs.counter "fuzz.findings"
+let m_shrink_steps = Obs.counter "fuzz.shrink_steps"
+let m_instances_per_s = Obs.gauge "fuzz.instances_per_s"
+let m_campaign_ms = Obs.histogram "fuzz.campaign_ms"
 
 type verdict = Pass | Skip of string | Fail of string
 
@@ -195,8 +207,27 @@ let run ?pool ?(seed = 42) ?(count = 100) ?time_budget_ms ~oracles () =
     | Some p when Pool.jobs p > 1 -> run_oracle_par p ~seed ~count ~out_of_time
     | _ -> run_oracle_seq ~seed ~count ~out_of_time
   in
-  let oracles = List.map (fun (o, stream) -> run_oracle o stream) streams in
-  { r_seed = seed; elapsed_ms = Clock.since_ms t0; oracles }
+  let oracles =
+    List.map
+      (fun (o, stream) ->
+        Obs.with_span "fuzz.oracle" (fun () -> run_oracle o stream))
+      streams
+  in
+  let r = { r_seed = seed; elapsed_ms = Clock.since_ms t0; oracles } in
+  if Obs.enabled () then begin
+    let ex = List.fold_left (fun a o -> a + o.exercised) 0 r.oracles in
+    let sk = List.fold_left (fun a o -> a + o.skipped) 0 r.oracles in
+    let fs = List.concat_map (fun o -> o.findings) r.oracles in
+    Obs.add m_exercised (float_of_int ex);
+    Obs.add m_skipped (float_of_int sk);
+    Obs.add m_findings (float_of_int (List.length fs));
+    Obs.add m_shrink_steps
+      (float_of_int (List.fold_left (fun a f -> a + f.shrink_steps) 0 fs));
+    if r.elapsed_ms > 0. then
+      Obs.set m_instances_per_s (1000. *. float_of_int (ex + sk) /. r.elapsed_ms);
+    Obs.observe m_campaign_ms r.elapsed_ms
+  end;
+  r
 
 let failures r = List.concat_map (fun o -> o.findings) r.oracles
 

@@ -2,6 +2,16 @@ open Ffc_lp
 module Rng = Ffc_util.Rng
 module Clock = Ffc_util.Clock
 module Pool = Ffc_util.Pool
+module Obs = Ffc_obs.Obs
+
+let m_steps = Obs.counter "controller.steps"
+let m_fallbacks = Obs.counter "controller.fallbacks"
+let m_deadline_hits = Obs.counter "controller.deadline_hits"
+let m_escalations = Obs.counter "controller.escalations"
+let m_rungs_raced = Obs.counter "controller.rungs_raced"
+let m_wasted_ms = Obs.counter "controller.speculative_wasted_ms"
+let m_step_ms = Obs.histogram "controller.step_ms"
+let m_rung_ms = Obs.histogram "controller.rung_ms"
 
 type mode = Basic | Ffc_ladder of (int -> Ffc.config)
 
@@ -26,6 +36,14 @@ let rung_label = function
   | Reduced s -> Printf.sprintf "reduced-%d" s
   | Basic_te -> "basic-te"
   | Last_good -> "last-good"
+
+(* Static span names: computed before the tracing flag test, so they must
+   not allocate. *)
+let rung_span_name = function
+  | Full_protection -> "controller.rung.full"
+  | Reduced _ -> "controller.rung.reduced"
+  | Basic_te -> "controller.rung.basic-te"
+  | Last_good -> "controller.rung.last-good"
 
 type attempt = {
   rung : int;
@@ -430,8 +448,12 @@ let step t ?pool ?(stale = 0) ?audit_input (input : Te_types.input)
   let eval rung kind =
     let protections = protections_at t input ~boost kind in
     let t0 = Clock.now_ms () in
-    let result = try_rung t input ~prev ~rung ~boost ~use_bases:(not escalated) kind in
+    let result =
+      Obs.with_span (rung_span_name kind) (fun () ->
+          try_rung t input ~prev ~rung ~boost ~use_bases:(not escalated) kind)
+    in
     let solve_ms = Clock.since_ms t0 in
+    Obs.observe m_rung_ms solve_ms;
     let outcome = match result with Accepted _ -> Ok () | Failed f -> Error f in
     ( { rung; kind; protections; outcome; solve_ms; budget_ms = t.cfg.deadline_ms },
       result )
@@ -475,6 +497,16 @@ let step t ?pool ?(stale = 0) ?audit_input (input : Te_types.input)
     t.total_fallbacks <- t.total_fallbacks + fallbacks;
     t.total_deadline_hits <- t.total_deadline_hits + deadline_hits;
     if rung > t.deepest_rung then t.deepest_rung <- rung;
+    if Obs.enabled () then begin
+      Obs.incr m_steps;
+      Obs.add m_fallbacks (float_of_int fallbacks);
+      Obs.add m_deadline_hits (float_of_int deadline_hits);
+      if escalated then Obs.incr m_escalations;
+      Obs.add m_rungs_raced (float_of_int rungs_raced);
+      Obs.add m_wasted_ms speculative_wasted_ms;
+      Obs.observe m_step_ms
+        (List.fold_left (fun acc (a : attempt) -> acc +. a.solve_ms) 0. attempts)
+    end;
     {
       alloc;
       rung;
@@ -535,9 +567,10 @@ let step t ?pool ?(stale = 0) ?audit_input (input : Te_types.input)
       ~commit ~rungs_raced:(Array.length results)
       ~speculative_wasted_ms:!speculative_wasted_ms
   in
-  match pool with
-  | Some p when Pool.jobs p > 1 && List.length rungs > 1 -> raced p
-  | _ -> sequential ()
+  Obs.with_span "controller.step" (fun () ->
+      match pool with
+      | Some p when Pool.jobs p > 1 && List.length rungs > 1 -> raced p
+      | _ -> sequential ())
 
 (* Protection edge actually guaranteed by this step (minimum ke/kv across
    classes): the reaction rule must use the degraded level, not the

@@ -39,6 +39,17 @@
      triggers refactorisation. *)
 
 module Clock = Ffc_util.Clock
+module Obs = Ffc_obs.Obs
+
+(* Registry handles; recording is a no-op flag test unless `Obs.enable` ran. *)
+let m_pivots = Obs.counter "revised.pivots"
+let m_refactorisations = Obs.counter "revised.refactorisations"
+let m_degenerate = Obs.counter "revised.degenerate_pivots"
+let m_restarts = Obs.counter "revised.restarts"
+let m_lu_updates = Obs.counter "revised.lu_updates"
+let m_cold_fallbacks = Obs.counter "revised.cold_fallbacks"
+let m_solve_ms = Obs.histogram "revised.solve_ms"
+let m_solve_iterations = Obs.histogram "revised.solve_iterations"
 
 let feas_tol = 1e-7
 let opt_tol = 1e-7
@@ -132,7 +143,9 @@ let ftran_vec st w =
   | Some lu ->
     let t0 = Clock.now_ms () in
     Sparse_lu.ftran lu w;
-    st.acc.ftran_ms <- st.acc.ftran_ms +. Clock.since_ms t0
+    let dt = Clock.since_ms t0 in
+    st.acc.ftran_ms <- st.acc.ftran_ms +. dt;
+    Obs.span_event "revised.ftran" ~start_ms:t0 ~dur_ms:dt
 
 (* w = B^-1 a_j: scatter the sparse column, then FTRAN. *)
 let ftran st j w =
@@ -148,7 +161,15 @@ let duals st y =
   for i = 0 to st.m - 1 do
     y.(i) <- st.cost.(st.basic.(i))
   done;
-  match st.lu with None -> () | Some lu -> Sparse_lu.btran lu y
+  match st.lu with
+  | None -> ()
+  | Some lu ->
+    if Obs.tracing_enabled () then begin
+      let t0 = Clock.now_ms () in
+      Sparse_lu.btran lu y;
+      Obs.span_event "revised.btran" ~start_ms:t0 ~dur_ms:(Clock.since_ms t0)
+    end
+    else Sparse_lu.btran lu y
 
 (* Recompute basic variable values from the factorisation; returns max
    change seen (numerical drift indicator). *)
@@ -181,7 +202,10 @@ let refactorise_cols st cols ~complete =
   let sparse =
     Array.map (fun j -> (col_rows st j, col_vals st j)) cols
   in
-  match Sparse_lu.factorise ~ws:st.ws ~m:st.m ~complete sparse with
+  match
+    Obs.with_span "revised.refactor" (fun () ->
+        Sparse_lu.factorise ~ws:st.ws ~m:st.m ~complete sparse)
+  with
   | None -> false
   | Some { Sparse_lu.lu; row_of_col; completed_rows } ->
     let new_basic = Array.make st.m (-1) in
@@ -860,7 +884,7 @@ let warm_solve acc ws (p : Problem.t) b ~max_iterations ~deadline_at =
       let phase1 = st.iterations in
       Some (run_phase2 st ~max_iterations ~phase1 ~warm:true))
 
-let solve ?max_iterations ?deadline_ms ?basis (p : Problem.t) =
+let solve_impl ?max_iterations ?deadline_ms ?basis (p : Problem.t) =
   let acc = fresh_acc () in
   let m = p.Problem.nrows in
   (* One factorisation workspace per solve, shared by the warm attempt and
@@ -887,4 +911,28 @@ let solve ?max_iterations ?deadline_ms ?basis (p : Problem.t) =
   in
   match warm_result with
   | Some r -> r
-  | None -> cold_solve acc ws p ~max_iterations ~deadline_at
+  | None ->
+    if basis <> None then begin
+      (* A warm basis was offered but abandoned: structured replacement for
+         what used to be an invisible counter bump. *)
+      Obs.incr m_cold_fallbacks;
+      Obs.event ~level:Obs.Debug "revised.cold_fallback"
+        [ ("rows", Obs.Int m); ("cols", Obs.Int p.Problem.ncols) ]
+    end;
+    cold_solve acc ws p ~max_iterations ~deadline_at
+
+let solve ?max_iterations ?deadline_ms ?basis (p : Problem.t) =
+  Obs.with_span "revised.solve" (fun () ->
+      let t0 = Clock.now_ms () in
+      let r = solve_impl ?max_iterations ?deadline_ms ?basis p in
+      if Obs.enabled () then begin
+        let s = r.Problem.stats in
+        Obs.add m_pivots (float_of_int r.Problem.iterations);
+        Obs.add m_refactorisations (float_of_int s.Problem.refactorisations);
+        Obs.add m_degenerate (float_of_int s.Problem.degenerate_pivots);
+        Obs.add m_restarts (float_of_int s.Problem.restarts);
+        Obs.add m_lu_updates (float_of_int s.Problem.lu_updates);
+        Obs.observe m_solve_ms (Clock.since_ms t0);
+        Obs.observe m_solve_iterations (float_of_int r.Problem.iterations)
+      end;
+      r)

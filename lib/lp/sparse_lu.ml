@@ -15,6 +15,14 @@
    before (BTRAN) the triangular solves; the caller refactorises when the
    file grows past its policy limit. *)
 
+module Obs = Ffc_obs.Obs
+
+let m_factorisations = Obs.counter "lu.factorisations"
+let m_singular = Obs.counter "lu.singular"
+let m_etas = Obs.counter "lu.update_etas"
+let m_fill = Obs.histogram "lu.fill_in"
+let m_nnz = Obs.histogram "lu.nnz"
+
 let drop_tol = 1e-13
 let abs_pivot_tol = 1e-11
 let tau = 0.01 (* threshold partial pivoting factor *)
@@ -384,7 +392,10 @@ let factorise ?ws ~m ~complete cols =
           nsteps := k + 1
         end
       done;
-    if !nsteps <> m then None
+    if !nsteps <> m then begin
+      Obs.incr m_singular;
+      None
+    end
     else begin
       let lu =
         {
@@ -406,9 +417,16 @@ let factorise ?ws ~m ~complete cols =
           nupd = 0;
         }
       in
+      Obs.incr m_factorisations;
+      if Obs.enabled () then begin
+        Obs.observe m_fill (float_of_int lu.fill);
+        Obs.observe m_nnz (float_of_int lu.lu_nnz)
+      end;
       Some { lu; row_of_col; completed_rows = !completed }
     end
-  with Singular -> None
+  with Singular ->
+    Obs.incr m_singular;
+    None
 
 (* ------------------------------------------------------------------ *)
 (* Triangular solves                                                   *)
@@ -518,7 +536,8 @@ let update t ~r ~w =
   t.e_piv.(t.nupd) <- w.(r);
   t.e_idx.(t.nupd) <- idx;
   t.e_val.(t.nupd) <- vals;
-  t.nupd <- t.nupd + 1
+  t.nupd <- t.nupd + 1;
+  Obs.incr m_etas
 
 let updates t = t.nupd
 let nnz t = t.lu_nnz

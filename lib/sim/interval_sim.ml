@@ -1,6 +1,21 @@
 open Ffc_net
 open Ffc_core
 module Rng = Ffc_util.Rng
+module Obs = Ffc_obs.Obs
+
+let m_intervals = Obs.counter "interval.count"
+let m_down = Obs.counter "interval.controller_down"
+let m_recoveries = Obs.counter "interval.recoveries"
+let m_skips = Obs.counter "interval.dead_band_skips"
+let m_data_faults = Obs.counter "interval.data_faults"
+let m_control_faults = Obs.counter "interval.control_faults"
+let m_reactions = Obs.counter "interval.reactions"
+let m_audit_cases = Obs.counter "interval.audit_cases"
+let m_audit_violations = Obs.counter "interval.audit_violations"
+let m_gt_violations = Obs.counter "interval.gt_violations"
+let m_lost_gb = Obs.histogram "interval.lost_gb"
+let m_oversub = Obs.histogram "interval.max_oversub_pct"
+let m_est_err = Obs.histogram "interval.estimation_err"
 
 type mode = Reactive | Proactive of (int -> Ffc.config)
 
@@ -119,6 +134,88 @@ let total_lost s =
   Array.fold_left
     (fun acc c -> acc +. c.lost_congestion_gb +. c.lost_blackhole_gb)
     0. s.per_class
+
+(* One interval as a JSON-lines record, for `ffc simulate --stats-json`:
+   the machine-readable twin of the human table, so bench/CI can diff two
+   runs field by field. Hand-rolled like the bench emitters (no JSON dep);
+   every float uses %.17g so records round-trip exactly. *)
+let stats_json_line (s : interval_stats) =
+  let b = Buffer.create 512 in
+  let fstr x = if Float.is_finite x then Printf.sprintf "%.17g" x else "null" in
+  let str s' =
+    let e = Buffer.create (String.length s') in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string e "\\\""
+        | '\\' -> Buffer.add_string e "\\\\"
+        | '\n' -> Buffer.add_string e "\\n"
+        | c -> Buffer.add_char e c)
+      s';
+    Buffer.contents e
+  in
+  Buffer.add_char b '{';
+  Buffer.add_string b "\"per_class\":[";
+  Array.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"offered_gb\":%s,\"granted_gb\":%s,\"delivered_gb\":%s,\"lost_congestion_gb\":%s,\"lost_blackhole_gb\":%s}"
+           (fstr c.offered_gb) (fstr c.granted_gb) (fstr c.delivered_gb)
+           (fstr c.lost_congestion_gb) (fstr c.lost_blackhole_gb)))
+    s.per_class;
+  Buffer.add_string b "],";
+  Buffer.add_string b (Printf.sprintf "\"max_oversub_pct\":%s," (fstr s.max_oversub_pct));
+  Buffer.add_string b (Printf.sprintf "\"control_faults\":%d," s.control_faults);
+  Buffer.add_string b (Printf.sprintf "\"data_faults\":%d," s.data_faults);
+  Buffer.add_string b (Printf.sprintf "\"reacted\":%b," s.reacted);
+  Buffer.add_string b (Printf.sprintf "\"solver_fallbacks\":%d," s.solver_fallbacks);
+  Buffer.add_string b (Printf.sprintf "\"rung\":%d," s.rung);
+  Buffer.add_string b (Printf.sprintf "\"rung_label\":\"%s\"," (str s.rung_label));
+  Buffer.add_string b (Printf.sprintf "\"deadline_hits\":%d," s.deadline_hits);
+  Buffer.add_string b (Printf.sprintf "\"stale_alloc\":%b," s.stale_alloc);
+  Buffer.add_string b (Printf.sprintf "\"audit_cases\":%d," s.audit_cases);
+  Buffer.add_string b (Printf.sprintf "\"audit_violations\":%d," s.audit_violations);
+  let sb = s.southbound in
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"southbound\":{\"epoch\":%d,\"pushed\":%d,\"applied\":%d,\"stale\":%d,\"max_epoch_lag\":%d,\"attempts\":%d,\"retries\":%d,\"retry_successes\":%d,\"failures\":%d,\"timeouts\":%d,\"outages_started\":%d},"
+       sb.Southbound.epoch sb.Southbound.pushed
+       (List.length sb.Southbound.applied)
+       (List.length sb.Southbound.stale)
+       sb.Southbound.max_epoch_lag sb.Southbound.attempts sb.Southbound.retries
+       sb.Southbound.retry_successes sb.Southbound.failures sb.Southbound.timeouts
+       sb.Southbound.outages_started);
+  (match s.kc_verdict with
+  | Southbound.Ok_checked -> Buffer.add_string b "\"kc_verdict\":\"ok\","
+  | Southbound.Beyond_budget l ->
+    Buffer.add_string b
+      (Printf.sprintf "\"kc_verdict\":\"beyond_budget\",\"kc_beyond\":%d," (List.length l))
+  | Southbound.Violation v ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "\"kc_verdict\":\"violation\",\"kc_violation\":{\"link\":%d,\"load\":%s,\"capacity\":%s},"
+         v.Southbound.link.Topology.id (fstr v.Southbound.load)
+         (fstr v.Southbound.capacity)));
+  Buffer.add_string b (Printf.sprintf "\"kc_checked\":%d," s.kc_checked);
+  Buffer.add_string b (Printf.sprintf "\"escalated\":%b," s.escalated);
+  Buffer.add_string b (Printf.sprintf "\"controller_down\":%b," s.controller_down);
+  Buffer.add_string b
+    (Printf.sprintf "\"recovered_from_journal\":%b," s.recovered_from_journal);
+  Buffer.add_string b (Printf.sprintf "\"recovery_interval\":%b," s.recovery_interval);
+  Buffer.add_string b (Printf.sprintf "\"view_staleness\":%d," s.view_staleness);
+  Buffer.add_string b (Printf.sprintf "\"suspect_links\":%d," s.suspect_links);
+  Buffer.add_string b (Printf.sprintf "\"suspect_switches\":%d," s.suspect_switches);
+  Buffer.add_string b (Printf.sprintf "\"estimation_err\":%s," (fstr s.estimation_err));
+  Buffer.add_string b (Printf.sprintf "\"solve_skipped\":%b," s.solve_skipped);
+  (match s.gt_data with
+  | Gt_ok -> Buffer.add_string b "\"gt_data\":\"ok\""
+  | Gt_not_asserted -> Buffer.add_string b "\"gt_data\":\"not_asserted\""
+  | Gt_violation m ->
+    Buffer.add_string b (Printf.sprintf "\"gt_data\":\"violation\",\"gt_message\":\"%s\"" (str m)));
+  Buffer.add_char b '}';
+  Buffer.contents b
 
 let total_delivered s = Array.fold_left (fun acc c -> acc +. c.delivered_gb) 0. s.per_class
 
@@ -435,6 +532,7 @@ let run ~rng cfg (input : Te_types.input) ~demand_series =
   in
   Array.iteri
     (fun interval_idx base_demands ->
+      Obs.with_span "interval" @@ fun () ->
       let t_start = float_of_int interval_idx *. cfg.interval_s in
       (* Crash process: a forced crash for this interval takes precedence
          (and consumes no randomness, so bench arms can impose identical
@@ -474,25 +572,40 @@ let run ~rng cfg (input : Te_types.input) ~demand_series =
       if recovery then begin
         match (cfg.outage, !journal) with
         | Some { recovery = Journaled_restart; _ }, Some (cs, es) ->
+          (* A restore mismatch used to die as a bare invalid_arg: now it
+             is also a machine-readable Error event carrying the decoder's
+             complaint, so post-mortems can see which snapshot failed. *)
           let c =
             match Controller.restore ccfg cs with
             | Ok c -> c
-            | Error m -> invalid_arg ("Interval_sim: controller journal: " ^ m)
+            | Error m ->
+              Obs.event ~level:Obs.Error "interval.journal_restore_mismatch"
+                [ ("component", Obs.Str "controller"); ("interval", Obs.Int interval_idx);
+                  ("reason", Obs.Str m) ];
+              invalid_arg ("Interval_sim: controller journal: " ^ m)
           in
           let e =
             match Southbound.restore ~retry:cfg.retry cfg.update_model input es with
             | Ok e -> e
-            | Error m -> invalid_arg ("Interval_sim: southbound journal: " ^ m)
+            | Error m ->
+              Obs.event ~level:Obs.Error "interval.journal_restore_mismatch"
+                [ ("component", Obs.Str "southbound"); ("interval", Obs.Int interval_idx);
+                  ("reason", Obs.Str m) ];
+              invalid_arg ("Interval_sim: southbound journal: " ^ m)
           in
           while Southbound.now_s e +. 1e-9 < t_start do
             Southbound.tick e ~interval_s:cfg.interval_s
           done;
           ctrl := c;
           engine := e;
-          recovered := true
+          recovered := true;
+          Obs.event ~level:Obs.Debug "interval.journal_restored"
+            [ ("interval", Obs.Int interval_idx) ]
         | _ ->
           (* Cold restart — or a crash before the first snapshot existed. *)
-          ctrl := Controller.create ccfg
+          ctrl := Controller.create ccfg;
+          Obs.event ~level:Obs.Debug "interval.cold_restart"
+            [ ("interval", Obs.Int interval_idx) ]
       end;
       let demands =
         Array.init nflows (fun f -> base_demands.(f) +. (backlog.(f) /. cfg.interval_s))
@@ -841,4 +954,22 @@ let run ~rng cfg (input : Te_types.input) ~demand_series =
         end
       end)
     demand_series;
-  List.rev !results
+  let stats = List.rev !results in
+  if Obs.enabled () then
+    List.iter
+      (fun st ->
+        Obs.incr m_intervals;
+        if st.controller_down then Obs.incr m_down;
+        if st.recovery_interval then Obs.incr m_recoveries;
+        if st.solve_skipped then Obs.incr m_skips;
+        Obs.add m_data_faults (float_of_int st.data_faults);
+        Obs.add m_control_faults (float_of_int st.control_faults);
+        if st.reacted then Obs.incr m_reactions;
+        Obs.add m_audit_cases (float_of_int st.audit_cases);
+        Obs.add m_audit_violations (float_of_int st.audit_violations);
+        (match st.gt_data with Gt_violation _ -> Obs.incr m_gt_violations | _ -> ());
+        Obs.observe m_lost_gb (total_lost st);
+        Obs.observe m_oversub st.max_oversub_pct;
+        if sensing then Obs.observe m_est_err st.estimation_err)
+      stats;
+  stats

@@ -202,6 +202,12 @@ type interval_stats = {
 val total_lost : interval_stats -> float
 val total_delivered : interval_stats -> float
 
+val stats_json_line : interval_stats -> string
+(** One interval as a single-line JSON object (no trailing newline): the
+    machine-readable twin of the human table, used by
+    [ffc simulate --stats-json] to emit JSON lines that bench/CI can diff
+    mechanically. Floats are printed with full precision. *)
+
 val reaction_delay : Ffc_util.Rng.t -> config -> int -> float
 (** Latency of a corrective mid-interval update across [n] ingresses, each
     on its own retry timeline under [config.retry] (mirroring

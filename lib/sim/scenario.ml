@@ -43,12 +43,18 @@ let build name topo spec =
     { Te_types.topo; flows = spec.Traffic.flows; demands = spec.Traffic.base_demand }
   in
   let k, achieved = calibrate ~target:calibration_target input in
+  (* Structured replacement for the old ad-hoc eprintf: still mirrored to
+     stderr at the default Warn threshold, but machine-readable in the
+     event log (`--metrics-out` exports it). *)
   if achieved < calibration_target then
-    Printf.eprintf
-      "[scenario %s] calibration failed: basic TE satisfies only %.1f%% of demand at the \
-       minimum scale %.3f (target %.0f%%); scenario is uncalibrated\n\
-       %!"
-      name (100. *. achieved) k (100. *. calibration_target);
+    Ffc_obs.Obs.(
+      event ~level:Warn "scenario.calibration_failed"
+        [
+          ("scenario", Str name);
+          ("achieved_pct", Float (100. *. achieved));
+          ("min_scale", Float k);
+          ("target_pct", Float (100. *. calibration_target));
+        ]);
   let demands = Traffic.scale k input.Te_types.demands in
   let spec = { spec with Traffic.base_demand = demands } in
   {

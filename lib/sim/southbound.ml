@@ -1,6 +1,18 @@
 open Ffc_net
 open Ffc_core
 module Rng = Ffc_util.Rng
+module Obs = Ffc_obs.Obs
+
+let m_pushes = Obs.counter "southbound.pushes"
+let m_attempts = Obs.counter "southbound.attempts"
+let m_retries = Obs.counter "southbound.retries"
+let m_retry_successes = Obs.counter "southbound.retry_successes"
+let m_failures = Obs.counter "southbound.failures"
+let m_timeouts = Obs.counter "southbound.timeouts"
+let m_outages = Obs.counter "southbound.outages_started"
+let m_stale = Obs.counter "southbound.stale_switch_intervals"
+let m_apply_s = Obs.histogram "southbound.apply_s"
+let m_attempts_per_apply = Obs.histogram "southbound.attempts_per_apply"
 
 type retry_policy = {
   max_attempts : int;
@@ -238,6 +250,7 @@ let backoff_delay p rng ~attempt =
   capped *. (1. +. (if p.jitter > 0. then p.jitter *. Rng.float rng 1. else 0.))
 
 let push t rng (input : Te_types.input) ~target ~interval_s =
+  Obs.with_span "southbound.push" @@ fun () ->
   t.target_epoch <- t.target_epoch + 1;
   let epoch = t.target_epoch in
   let pushed = ref 0 in
@@ -287,7 +300,13 @@ let push t rng (input : Te_types.input) ~target ~interval_s =
             then begin
               incr outages_started;
               st.outage_until <-
-                t.now +. !tl +. t.model.Update_model.outage_duration_s rng
+                t.now +. !tl +. t.model.Update_model.outage_duration_s rng;
+              Obs.event ~level:Obs.Debug "southbound.outage_started"
+                [
+                  ("switch", Obs.Int v);
+                  ("at_s", Obs.Float (t.now +. !tl));
+                  ("until_s", Obs.Float st.outage_until);
+                ]
             end;
             (* Failures are detected immediately (RPC error); back off. *)
             tl := !tl +. backoff_delay t.retry rng ~attempt:!attempt
@@ -327,6 +346,23 @@ let push t rng (input : Te_types.input) ~target ~interval_s =
   t.total_failures <- t.total_failures + !failures;
   t.total_timeouts <- t.total_timeouts + !timeouts;
   t.total_outages <- t.total_outages + !outages_started;
+  if Obs.enabled () then begin
+    Obs.incr m_pushes;
+    Obs.add m_attempts (float_of_int !attempts);
+    Obs.add m_retries (float_of_int !retries);
+    Obs.add m_retry_successes (float_of_int !retry_successes);
+    Obs.add m_failures (float_of_int !failures);
+    Obs.add m_timeouts (float_of_int !timeouts);
+    Obs.add m_outages (float_of_int !outages_started);
+    Obs.add m_stale (float_of_int (List.length stale));
+    (* Per-switch retry timelines: when each apply landed inside the
+       interval and how many attempts it took. *)
+    List.iter
+      (fun a ->
+        Obs.observe m_apply_s a.at_s;
+        Obs.observe m_attempts_per_apply (float_of_int a.attempts))
+      !applied
+  end;
   {
     epoch;
     pushed = !pushed;

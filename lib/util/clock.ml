@@ -1,9 +1,21 @@
 (* Monotonic wall clock. [Sys.time] measures process CPU time, which both
    under-reports multi-threaded / IO-bound phases and over-reports nothing a
    user can correlate with latency; every "how long did the solve take"
-   number in this repository goes through here instead. *)
+   number in this repository goes through here instead.
 
-let now_ms () = Int64.to_float (Monotonic_clock.now ()) /. 1e6
+   The source is injectable ([set_hook]) so tests can freeze or script time
+   and compare full stat records — solve_ms fields included — bit for bit,
+   instead of excluding every timing field from the comparison. *)
+
+let real_now_ms () = Int64.to_float (Monotonic_clock.now ()) /. 1e6
+
+let hook = ref real_now_ms
+
+let set_hook f = hook := f
+
+let clear_hook () = hook := real_now_ms
+
+let now_ms () = !hook ()
 
 let since_ms t0 = now_ms () -. t0
 
@@ -11,3 +23,8 @@ let time_ms f =
   let t0 = now_ms () in
   let x = f () in
   (x, since_ms t0)
+
+let with_hook f body =
+  let saved = !hook in
+  hook := f;
+  Fun.protect ~finally:(fun () -> hook := saved) body

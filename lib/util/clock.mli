@@ -3,7 +3,13 @@
     [Sys.time] (process CPU time) is the wrong tool for reporting solve
     latency: it is unaffected by wall-clock stalls and its resolution is
     coarse. All timing in this repository uses this module, which is backed
-    by the OS monotonic clock. *)
+    by the OS monotonic clock.
+
+    The clock source is injectable: tests install a mock via [set_hook] (or
+    scoped with [with_hook]) so that records containing timing fields —
+    solver stats, ladder attempts, interval stats — become fully
+    deterministic and can be compared with structural equality instead of
+    field-by-field "modulo the timing fields" exclusions. *)
 
 val now_ms : unit -> float
 (** Current monotonic time in milliseconds. Only differences are
@@ -15,3 +21,15 @@ val since_ms : float -> float
 val time_ms : (unit -> 'a) -> 'a * float
 (** [time_ms f] runs [f ()] and returns its result with the elapsed
     wall-clock milliseconds. *)
+
+val set_hook : (unit -> float) -> unit
+(** Replace the clock source. The hook must be safe to call from any
+    domain (the solver and campaign engines read the clock from pool
+    workers). *)
+
+val clear_hook : unit -> unit
+(** Restore the real monotonic clock. *)
+
+val with_hook : (unit -> float) -> (unit -> 'a) -> 'a
+(** [with_hook f body] runs [body] with [f] installed as the clock source,
+    restoring the previous source afterwards (also on exceptions). *)
